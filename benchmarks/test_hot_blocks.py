@@ -1,0 +1,96 @@
+"""§5.3 adaptive block rearrangement (Akyürek & Salem 1993).
+
+Paper: the adaptive driver "copies frequently referenced blocks to
+reserved space near the center of the disk", cutting seek times by more
+than half; "as LD can rearrange blocks dynamically, the proposed scheme
+can be applied to LD too". This benchmark applies it: hot blocks scattered
+across the log are clustered by ``reorganize_hot`` and the hot-set read
+latency drops.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import BuildSpec, render_table
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.ld.hints import LIST_HEAD
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+from benchmarks.conftest import emit
+
+
+def build_scattered(spec):
+    disk = SimulatedDisk(hp_c3010(capacity_mb=spec.partition_mb), VirtualClock())
+    lld = LLD(disk, LLDConfig(segment_size=spec.segment_size))
+    lld.initialize()
+    lid = lld.new_list()
+    count = max(200, int(4000 * spec.scale))
+    bids = []
+    prev = LIST_HEAD
+    for i in range(count):
+        bid = lld.new_block(lid, prev)
+        lld.write(bid, bytes([i % 251]) * 4096)
+        bids.append(bid)
+        prev = bid
+    lld.flush()
+    hot = bids[:: max(2, count // 40)]  # ~40 hot blocks, widely scattered
+    return lld, bids, hot
+
+
+def hot_read_seconds(lld, hot, reads=200, seed=29):
+    """Returns (total seconds, seconds spent seeking)."""
+    rng = random.Random(seed)
+    clock = lld.disk.clock
+    t0 = clock.now
+    seek0 = lld.disk.stats.seek_time
+    for _ in range(reads):
+        lld.read(rng.choice(hot))
+    return clock.now - t0, lld.disk.stats.seek_time - seek0
+
+
+def test_hot_block_rearrangement(spec, benchmark):
+    def run():
+        lld, _bids, hot = build_scattered(spec)
+        # Warm the reference counters (the driver's monitoring phase);
+        # only the hot set accumulates counts, so rearranging the whole
+        # tracked population clusters exactly the hot set.
+        before, seek_before = hot_read_seconds(lld, hot, seed=29)
+        moved = lld.reorganize_hot(top_fraction=1.0)
+        # Shut down and reopen so the measurement reads from disk, not
+        # from the in-memory open segment.
+        lld.shutdown()
+        fresh = LLD(lld.disk, lld.config)
+        fresh.initialize()
+        after, seek_after = hot_read_seconds(fresh, hot, seed=31)
+        return before, seek_before, after, seek_after, moved, hot, fresh
+
+    before, seek_before, after, seek_after, moved, hot, lld = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    improvement = 1.0 - after / before
+    seek_reduction = 1.0 - seek_after / seek_before if seek_before else 0.0
+    segments = {lld.state.blocks[b].segment for b in hot}
+    emit(
+        render_table(
+            "Adaptive hot-block rearrangement",
+            ["value"],
+            {
+                "hot-set read time before (s)": {"value": before},
+                "hot-set read time after (s)": {"value": after},
+                "seek time before (s)": {"value": seek_before},
+                "seek time after (s)": {"value": seek_after},
+                "seek reduction %": {"value": seek_reduction * 100.0},
+                "blocks moved": {"value": float(moved)},
+                "segments holding the hot set": {"value": float(len(segments))},
+            },
+            note="paper §5.3: rearrangement cut seek times by more than half",
+        )
+    )
+    assert moved > 0
+    # Hot blocks end up physically together...
+    assert len(segments) <= 3
+    # ...seek time collapses (the paper's headline: more than half)...
+    assert seek_reduction >= 0.5
+    # ...and total response time improves too.
+    assert improvement > 0.0

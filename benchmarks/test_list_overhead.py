@@ -1,0 +1,61 @@
+"""§4.2 list-maintenance overhead.
+
+Paper: "there is little overhead during reading or writing. There is only
+significant overhead during block allocation and deallocation; during the
+create and delete phases of the small file benchmarks the overhead for
+maintaining lists was approximately 15%."
+"""
+
+import pytest
+
+from repro.bench import build_minix_lld, render_table, small_file_benchmark
+from benchmarks.conftest import emit
+
+
+def run(spec):
+    count = spec.small_file_count(4_000)
+    with_lists_fs, _ = build_minix_lld(spec, lists_enabled=True)
+    with_lists = small_file_benchmark(with_lists_fs, count, 1024)
+    without_lists_fs, _ = build_minix_lld(spec, lists_enabled=False, list_per_file=False)
+    without_lists = small_file_benchmark(without_lists_fs, count, 1024)
+    return with_lists, without_lists
+
+
+def test_list_overhead(spec, benchmark):
+    with_lists, without_lists = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
+
+    def overhead(phase: str) -> float:
+        fast = getattr(without_lists, phase)
+        slow = getattr(with_lists, phase)
+        return (fast - slow) / fast * 100.0
+
+    rows = {
+        "create": {
+            "lists on (files/s)": with_lists.create_per_sec,
+            "lists off (files/s)": without_lists.create_per_sec,
+            "overhead %": overhead("create_per_sec"),
+        },
+        "read": {
+            "lists on (files/s)": with_lists.read_per_sec,
+            "lists off (files/s)": without_lists.read_per_sec,
+            "overhead %": overhead("read_per_sec"),
+        },
+        "delete": {
+            "lists on (files/s)": with_lists.delete_per_sec,
+            "lists off (files/s)": without_lists.delete_per_sec,
+            "overhead %": overhead("delete_per_sec"),
+        },
+    }
+    emit(
+        render_table(
+            "List-maintenance overhead (MINIX LLD, lists on vs off)",
+            ["lists on (files/s)", "lists off (files/s)", "overhead %"],
+            rows,
+            note="paper: ~15% overhead on create/delete, little on read/write",
+        )
+    )
+
+    # Reads barely care about lists.
+    assert abs(overhead("read_per_sec")) < 15.0
+    # Create pays a bounded allocation overhead (paper ~15%).
+    assert -10.0 <= overhead("create_per_sec") <= 60.0

@@ -1,0 +1,92 @@
+"""§3.4: would caching the block-number map be effective?
+
+The paper keeps the whole block-number map in main memory but argues that
+"Ruemmler and Wilkes analyzed UNIX block access patterns and observed that
+1% of the blocks receive 90% of the writes ... this suggests that caching
+the block-number map could be effective".
+
+This benchmark generates a Ruemmler-&-Wilkes-like skewed workload against
+a live LLD, records which map entries each operation touches, and reports
+how small a resident subset of the map covers 90/95/99% of all accesses.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import BuildSpec, render_table
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.ld.hints import LIST_HEAD
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+from benchmarks.conftest import emit
+
+
+def run(spec):
+    disk = SimulatedDisk(hp_c3010(capacity_mb=spec.partition_mb), VirtualClock())
+    lld = LLD(disk, LLDConfig(segment_size=spec.segment_size))
+    lld.initialize()
+    lid = lld.new_list()
+    count = max(400, int(8000 * spec.scale))
+    bids = []
+    prev = LIST_HEAD
+    payload = b"\x6a" * 4096
+    for _ in range(count):
+        bid = lld.new_block(lid, prev)
+        lld.write(bid, payload)
+        bids.append(bid)
+        prev = bid
+
+    # Ruemmler & Wilkes: 1% of blocks get 90% of the writes.
+    rng = random.Random(37)
+    hot = bids[: max(1, len(bids) // 100)]
+    touches: dict[int, int] = {}
+    operations = count * 4
+    for _ in range(operations):
+        bid = rng.choice(hot) if rng.random() < 0.9 else rng.choice(bids)
+        lld.write(bid, payload)
+        touches[bid] = touches.get(bid, 0) + 1
+
+    ranked = sorted(touches.values(), reverse=True)
+    total = sum(ranked)
+    map_entries = len(lld.state.blocks)
+
+    def entries_for_coverage(target: float) -> int:
+        acc = 0
+        for i, hits in enumerate(ranked, start=1):
+            acc += hits
+            if acc / total >= target:
+                return i
+        return len(ranked)
+
+    return {
+        "map_entries": map_entries,
+        "coverage": {
+            pct: entries_for_coverage(pct) for pct in (0.90, 0.95, 0.99)
+        },
+    }
+
+
+def test_map_caching_effectiveness(spec, benchmark):
+    result = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
+    entries = result["map_entries"]
+    rows = {}
+    for pct, needed in result["coverage"].items():
+        rows[f"{pct:.0%} of map accesses"] = {
+            "resident entries": float(needed),
+            "% of the map": 100.0 * needed / entries,
+        }
+    emit(
+        render_table(
+            f"Block-number-map caching on a 90/1 skewed workload "
+            f"({entries} map entries)",
+            ["resident entries", "% of the map"],
+            rows,
+            note="paper §3.4: skew suggests caching the map could be effective",
+        )
+    )
+    # 90% of map accesses are served by a tiny resident fraction.
+    needed_90 = result["coverage"][0.90]
+    assert needed_90 / entries < 0.10
+    # Even 99% needs far less than the whole map.
+    assert result["coverage"][0.99] / entries < 0.75

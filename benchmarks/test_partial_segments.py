@@ -1,0 +1,94 @@
+"""§3.2 partial segments: the cost of Flush as a function of its rate.
+
+Paper: below the threshold a Flush writes the partial segment but keeps it
+in memory, so the slot is recycled with no cleaning — at the price of
+writing blocks multiple times when Flushes are frequent.
+"""
+
+import pytest
+
+from repro.bench import BuildSpec, build_minix_lld, render_table
+from benchmarks.conftest import emit
+
+
+def run(spec):
+    results = {}
+    for sync_every in (0, 64, 16, 4):
+        fs, lld = build_minix_lld(spec)
+        payload = b"\x6e" * 4096
+        count = max(64, int(2000 * spec.scale))
+        clock = lld.disk.clock
+        t0 = clock.now
+        fs.mkdir("/d")
+        for i in range(count):
+            fd = fs.open(f"/d/f{i}", create=True)
+            fs.write(fd, payload)
+            fs.close(fd)
+            if sync_every and (i + 1) % sync_every == 0:
+                fs.sync()
+        fs.sync()
+        elapsed = clock.now - t0
+        results[sync_every] = dict(
+            files_per_sec=count / elapsed,
+            partial_writes=lld.stats.partial_segment_writes,
+            sectors_written=lld.disk.stats.sectors_written,
+            cleanings=lld.stats.cleanings,
+        )
+    return results
+
+
+def test_flush_rate_cost(spec, benchmark):
+    results = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
+
+    rows = {}
+    for sync_every, cells in results.items():
+        label = "sync at end only" if sync_every == 0 else f"sync every {sync_every}"
+        rows[label] = {
+            "files/s": cells["files_per_sec"],
+            "partial writes": float(cells["partial_writes"]),
+            "sectors written": float(cells["sectors_written"]),
+        }
+    emit(
+        render_table(
+            "Partial-segment strategy — Flush-rate sweep (create workload)",
+            ["files/s", "partial writes", "sectors written"],
+            rows,
+            note="frequent flushes rewrite blocks multiple times (paper §3.2)",
+        )
+    )
+
+    # More frequent flushes -> more partial writes and more bytes written.
+    assert results[4]["partial_writes"] > results[64]["partial_writes"]
+    assert results[4]["sectors_written"] > results[0]["sectors_written"]
+    # And lower throughput.
+    assert results[4]["files_per_sec"] < results[0]["files_per_sec"]
+    # Partial slots are recycled without cleaning overhead.
+    assert results[4]["cleanings"] == 0
+
+
+def test_partial_flush_writes_reclaimed_without_cleaning(spec, benchmark):
+    """The same slot absorbs repeated partial writes until it seals."""
+
+    def run_one():
+        fs, lld = build_minix_lld(BuildSpec.from_scale(0.05))
+        payload = b"\x6f" * 4096
+        slot_changes = 0
+        last_slot = lld.open_segment_index
+        for i in range(40):
+            fd = fs.open(f"/x{i}", create=True)
+            fs.write(fd, payload)
+            fs.close(fd)
+            fs.sync()  # every sync is a partial flush until the seal
+            if lld.open_segment_index != last_slot:
+                slot_changes += 1
+                last_slot = lld.open_segment_index
+        return lld, slot_changes
+
+    lld, slot_changes = benchmark.pedantic(run_one, rounds=1, iterations=1)
+    emit(
+        f"40 synced creates: {lld.stats.partial_segment_writes} partial writes, "
+        f"{slot_changes} slot changes, {lld.stats.cleanings} cleanings"
+    )
+    assert lld.stats.partial_segment_writes > 10
+    assert slot_changes <= 3
+    assert lld.stats.cleanings == 0

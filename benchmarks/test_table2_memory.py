@@ -1,0 +1,67 @@
+"""Table 2: main memory used by LLD per GB of physical disk space.
+
+Paper: 1.5 MB (no compression, single list) up to 4.6 MB (compression,
+one list per 8 KB file). We regenerate the table from the memory model
+and additionally cross-check the entry counts against a live LLD instance.
+"""
+
+import pytest
+
+from repro.bench import BuildSpec, build_minix_lld
+from repro.bench.report import render_table
+from repro.memmodel import table2_rows
+from benchmarks.conftest import emit
+
+MB = 1024 * 1024
+
+PAPER = {
+    "single_list": {"Block map": 1.5, "List table": 0.0, "Usage table": 0.006, "Total": 1.5},
+    "compression_list_per_file": {"Block map": 3.8, "List table": 0.8, "Usage table": 0.006, "Total": 4.6},
+}
+
+
+def test_table2_memory_model(benchmark):
+    rows_model = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+
+    rows = {}
+    for config, cells in rows_model.items():
+        rows[f"{config} (model)"] = {
+            "Block map": cells["block_map_mb"],
+            "List table": cells["list_table_mb"],
+            "Usage table": cells["usage_table_mb"],
+            "Total": cells["total_mb"],
+        }
+        rows[f"{config} (paper)"] = PAPER[config]
+    emit(
+        render_table(
+            "Table 2 — LLD main memory per GB of disk (MB)",
+            ["Block map", "List table", "Usage table", "Total"],
+            rows,
+        )
+    )
+
+    assert rows_model["single_list"]["total_mb"] == pytest.approx(1.5, rel=0.01)
+    assert rows_model["compression_list_per_file"]["total_mb"] == pytest.approx(4.6, rel=0.01)
+
+
+def test_table2_live_instance_entry_counts(spec, benchmark):
+    """The live LLD's tables have the entry counts the model assumes."""
+
+    def build_and_fill():
+        fs, lld = build_minix_lld(BuildSpec.from_scale(0.05))
+        payload = b"\x42" * 4096
+        for i in range(100):
+            fd = fs.open(f"/f{i}", create=True)
+            fs.write(fd, payload)
+            fs.close(fd)
+        fs.sync()
+        return fs, lld
+
+    _fs, lld = benchmark.pedantic(build_and_fill, rounds=1, iterations=1)
+    # One block-map entry per logical block; one list per file (+ meta).
+    blocks = len(lld.state.blocks)
+    lists = len(lld.state.lists)
+    assert blocks >= 100  # at least the 100 data blocks
+    assert 100 <= lists <= 110  # one per file + metadata/root lists
+    # Usage table: one entry per segment that holds data.
+    assert len(lld.state.usage) <= lld.layout.segment_count

@@ -1,0 +1,46 @@
+"""Table 3: percentage cost LLD adds to the price of a disk.
+
+Paper: from 3% (best case, cheap disk space) to 31% (worst case, expensive
+RAM), for RAM at $30/$50 per MB and disks at $750/$1500 per GB.
+"""
+
+import pytest
+
+from repro.bench.report import render_table
+from repro.memmodel import table3_rows
+from benchmarks.conftest import emit
+
+PAPER_CELLS = {
+    (30.0, 750.0): (6.0, 18.0),
+    (30.0, 1500.0): (3.0, 9.0),
+    (50.0, 750.0): (10.0, 31.0),
+    (50.0, 1500.0): (5.0, 15.0),
+}
+
+
+def test_table3_cost(benchmark):
+    rows_model = benchmark.pedantic(table3_rows, rounds=1, iterations=1)
+
+    rows = {}
+    for cell in rows_model:
+        key = (cell["ram_per_mb"], cell["disk_per_gb"])
+        label = f"RAM ${key[0]:.0f}/MB, disk ${key[1]:.0f}/GB"
+        paper_best, paper_worst = PAPER_CELLS[key]
+        rows[label] = {
+            "best %": cell["best_percent"],
+            "worst %": cell["worst_percent"],
+            "paper best %": paper_best,
+            "paper worst %": paper_worst,
+        }
+    emit(
+        render_table(
+            "Table 3 — % cost LLD adds to a disk",
+            ["best %", "worst %", "paper best %", "paper worst %"],
+            rows,
+        )
+    )
+
+    for cell in rows_model:
+        paper_best, paper_worst = PAPER_CELLS[(cell["ram_per_mb"], cell["disk_per_gb"])]
+        assert cell["best_percent"] == pytest.approx(paper_best, abs=0.5)
+        assert cell["worst_percent"] == pytest.approx(paper_worst, abs=1.0)

@@ -1,0 +1,82 @@
+"""Table 4: small-file create/read/delete, files per second.
+
+Paper (10,000 1 KB files, SPARC-10, HP C3010):
+
+* creation is much faster on MINIX LLD than plain MINIX, because LLD
+  collects many changes in a single segment write;
+* reads run at similar speed on both MINIX variants;
+* SunOS is the slowest at create and delete (synchronous metadata).
+
+We reproduce the *shape*; absolute files/s depend on the simulated disk.
+"""
+
+import pytest
+
+from repro.bench import (
+    build_ffs,
+    build_minix,
+    build_minix_lld,
+    render_table,
+    small_file_benchmark,
+)
+from benchmarks.conftest import emit
+
+PAPER_1K = {
+    "MINIX LLD": {"C": 567.0, "R": 113.0, "D": 435.0},
+    "MINIX": {"C": 21.0, "R": 115.0, "D": 109.0},
+    "SunOS": {"C": 10.0, "R": 71.0, "D": 9.0},
+}
+
+
+def run_all(spec, count, size):
+    results = {}
+    fs_lld, _lld = build_minix_lld(spec)
+    results["MINIX LLD"] = small_file_benchmark(fs_lld, count, size)
+    results["MINIX"] = small_file_benchmark(build_minix(spec), count, size)
+    results["SunOS"] = small_file_benchmark(build_ffs(spec), count, size)
+    return results
+
+
+def test_table4_small_files_1k(spec, benchmark):
+    count = spec.small_file_count(10_000)
+    results = benchmark.pedantic(run_all, args=(spec, count, 1024), rounds=1, iterations=1)
+
+    rows = {}
+    for name, phases in results.items():
+        rows[f"{name} (measured)"] = phases.as_row()
+        rows[f"{name} (paper)"] = PAPER_1K[name]
+    emit(
+        render_table(
+            f"Table 4 — {count} x 1 KB files (files/sec, simulated)",
+            ["C", "R", "D"],
+            rows,
+            note="paper rows: 10,000 files on the real HP C3010",
+        )
+    )
+
+    lld, minix, sunos = results["MINIX LLD"], results["MINIX"], results["SunOS"]
+    # Creation: LLD >> MINIX > SunOS (batched segment writes win).
+    assert lld.create_per_sec > 5 * minix.create_per_sec
+    assert minix.create_per_sec > sunos.create_per_sec
+    # Reads are comparable across the MINIX variants (both sequential).
+    assert 0.4 <= lld.read_per_sec / minix.read_per_sec <= 2.5
+    # SunOS deletes are the slowest (synchronous metadata).
+    assert sunos.delete_per_sec < lld.delete_per_sec
+    assert sunos.delete_per_sec < minix.delete_per_sec
+
+
+def test_table4_small_files_10k(spec, benchmark):
+    count = spec.small_file_count(1_000)
+    results = benchmark.pedantic(run_all, args=(spec, count, 10 * 1024), rounds=1, iterations=1)
+
+    rows = {name: phases.as_row() for name, phases in results.items()}
+    emit(
+        render_table(
+            f"Table 4 — {count} x 10 KB files (files/sec, simulated)",
+            ["C", "R", "D"],
+            rows,
+        )
+    )
+    lld, minix, sunos = results["MINIX LLD"], results["MINIX"], results["SunOS"]
+    assert lld.create_per_sec > 2 * minix.create_per_sec
+    assert sunos.create_per_sec < minix.create_per_sec

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""A B+-tree database on the Logical Disk (Figure 1's third client).
+
+Why LD is a good database substrate (paper §5.4):
+
+* logical block numbers are *stable*: when LD's cleaner moves a page, no
+  tree pointer needs rewriting (contrast with physical-address B-trees);
+* every structural change (splits, merges) runs inside an atomic recovery
+  unit, so a crash can never expose a torn tree;
+* the tree's pages live on one block list, so LD clusters them.
+
+Run:  python examples/btree_db.py
+"""
+
+import random
+
+from repro.btree import BTree
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+
+
+def main() -> None:
+    disk = SimulatedDisk(hp_c3010(capacity_mb=64), VirtualClock())
+    lld = LLD(disk, LLDConfig())
+    lld.initialize()
+    tree = BTree.create(lld, page_size=4096)
+
+    # Load a user table.
+    rng = random.Random(99)
+    user_ids = list(range(2000))
+    rng.shuffle(user_ids)
+    for uid in user_ids:
+        tree.insert(uid, f"user-{uid:05d}@example.com".encode())
+    print(f"loaded {len(tree)} rows -> {tree} "
+          f"({lld.list_length(tree.lid)} pages on list {tree.lid})")
+
+    # Point lookups and a range scan.
+    print(f"uid 1234 -> {tree.get(1234).decode()}")
+    window = list(tree.items(lo=100, hi=106))
+    print("range [100, 106):", [(k, v.decode()) for k, v in window])
+
+    # Deletes inside transactions.
+    for uid in range(0, 2000, 2):
+        tree.delete(uid)
+    print(f"after deleting even uids: {len(tree)} rows")
+
+    # Crash mid-flight: an insert whose ARU never commits must vanish.
+    lld.flush()
+
+    class Interrupted(RuntimeError):
+        pass
+
+    original = tree._insert_inner
+
+    def crash_during_insert(key, value):
+        original(key, value)
+        raise Interrupted()
+
+    tree._insert_inner = crash_during_insert
+    try:
+        tree.insert(999_999, b"torn row")
+    except Interrupted:
+        pass
+    lld.flush()
+    lld.crash()
+    print("*** POWER FAILURE mid-insert ***")
+
+    recovered_lld = LLD(disk, lld.config)
+    recovered_lld.initialize()
+    recovered = BTree.open(recovered_lld, tree.meta_bid, tree.lid, page_size=4096)
+    recovered.check_invariants()
+    print(f"recovered: {recovered} "
+          f"(torn row present: {999_999 in recovered})")
+    assert 999_999 not in recovered
+    assert recovered.get(1235) == b"user-01235@example.com"
+    print("tree is structurally intact; the interrupted insert left no trace.")
+
+    # Stable addresses: force the cleaner to relocate pages physically,
+    # then show that every lookup still works without any pointer fix-ups.
+    moved = recovered_lld.reorganize()
+    assert recovered.get(777) == b"user-00777@example.com"
+    print(f"reorganizer moved {moved} blocks; lookups unaffected "
+          f"(logical addresses never change).")
+
+
+if __name__ == "__main__":
+    main()

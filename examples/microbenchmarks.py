@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Run the paper's microbenchmarks (Tables 4 and 5) at a chosen scale.
+
+Usage:
+    python examples/microbenchmarks.py [scale]
+
+``scale`` is the fraction of the paper's workload (default 0.05 for a
+quick run; 1.0 reproduces the full 10,000-file / 80 MB workloads and takes
+a few minutes of wall time).
+"""
+
+import sys
+
+from repro.bench import (
+    BuildSpec,
+    build_ffs,
+    build_minix,
+    build_minix_lld,
+    large_file_benchmark,
+    render_table,
+    small_file_benchmark,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    spec = BuildSpec.from_scale(scale)
+    print(
+        f"scale {scale}: {spec.partition_mb} MB partition, "
+        f"{spec.cache_bytes // 1024} KB cache, "
+        f"{spec.small_file_count(10_000)} small files, "
+        f"{spec.large_file_mb(80)} MB large file\n"
+    )
+
+    systems = {
+        "MINIX LLD": lambda: build_minix_lld(spec)[0],
+        "MINIX": lambda: build_minix(spec),
+        "SunOS (FFS-like)": lambda: build_ffs(spec),
+    }
+
+    count = spec.small_file_count(10_000)
+    rows = {}
+    for name, make in systems.items():
+        rows[name] = small_file_benchmark(make(), count, 1024).as_row()
+    print(render_table(
+        f"Table 4 — {count} x 1 KB files (files/sec, simulated)",
+        ["C", "R", "D"],
+        rows,
+    ))
+    print()
+
+    file_mb = spec.large_file_mb(80)
+    rows = {}
+    for name, make in systems.items():
+        rows[name] = large_file_benchmark(make(), file_mb).as_row()
+    print(render_table(
+        f"Table 5 — {file_mb} MB file (KB/sec, simulated)",
+        ["Write Seq.", "Read Seq.", "Write Rand.", "Read Rand.", "Read Seq. 2"],
+        rows,
+    ))
+
+
+if __name__ == "__main__":
+    main()

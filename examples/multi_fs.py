@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Figure 1 live: the LD interface separates file from disk management.
+
+Two demonstrations:
+
+1. **One file system, many LD implementations.** The same MINIX core runs
+   over the log-structured LLD and over the update-in-place ULD — swapping
+   the disk-management policy without touching file management.
+2. **Many clients, one LD.** A MINIX file system and a raw-LD "database"
+   (keeping B-tree-ish pages on its own block list) share a single LLD.
+
+Run:  python examples/multi_fs.py
+"""
+
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.fs.minix import LDStore, MinixFS
+from repro.ld.hints import LIST_HEAD
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+from repro.uld import ULD
+
+
+def run_workload(fs, label: str, clock) -> None:
+    t0 = clock.now
+    fs.mkdir("/docs")
+    for i in range(100):
+        fd = fs.open(f"/docs/note-{i:03d}.txt", create=True)
+        fs.write(fd, f"note number {i}\n".encode() * 20)
+        fs.close(fd)
+    fs.sync()
+    total = 0
+    for name in fs.readdir("/docs"):
+        fd = fs.open(f"/docs/{name}")
+        total += len(fs.read(fd, 1 << 16))
+        fs.close(fd)
+    print(f"  {label}: 100 files, {total} bytes read back, "
+          f"{clock.now - t0:.2f} simulated seconds")
+
+
+def one_fs_many_lds() -> None:
+    print("1) the same MINIX core over two different LD implementations:")
+    for label, make_ld in (
+        ("LLD (log-structured) ", lambda d: LLD(d, LLDConfig())),
+        ("ULD (update-in-place)", ULD),
+    ):
+        disk = SimulatedDisk(hp_c3010(capacity_mb=64), VirtualClock())
+        ld = make_ld(disk)
+        ld.initialize()
+        fs = MinixFS(LDStore(ld), readahead=False)
+        fs.mkfs(ninodes=1024)
+        run_workload(fs, label, disk.clock)
+
+
+def many_clients_one_ld() -> None:
+    print("\n2) a file system and a raw-LD database sharing one LLD:")
+    disk = SimulatedDisk(hp_c3010(capacity_mb=64), VirtualClock())
+    lld = LLD(disk, LLDConfig())
+    lld.initialize()
+
+    # Client A: MINIX.
+    fs = MinixFS(LDStore(lld), readahead=False)
+    fs.mkfs(ninodes=1024)
+    fd = fs.open("/report.txt", create=True)
+    fs.write(fd, b"quarterly numbers\n" * 50)
+    fs.close(fd)
+
+    # Client B: a "database" storing fixed-size pages on its own list,
+    # with each page update wrapped in an atomic recovery unit.
+    pages_list = lld.new_list()
+    pages = []
+    prev = LIST_HEAD
+    for page_no in range(16):
+        aru = lld.begin_aru()
+        page = lld.new_block(pages_list, prev)
+        lld.write(page, page_no.to_bytes(2, "little") * 1024)  # 2 KB page
+        lld.end_aru()
+        pages.append(page)
+        prev = page
+
+    fs.sync()  # one Flush makes both clients' data durable
+
+    fd = fs.open("/report.txt")
+    fs_bytes = len(fs.read(fd, 1 << 16))
+    db_ok = all(
+        lld.read(page) == i.to_bytes(2, "little") * 1024
+        for i, page in enumerate(pages)
+    )
+    print(f"  MINIX read {fs_bytes} bytes; database pages intact: {db_ok}")
+    print(f"  one LD, {len(lld.state.lists)} lists, "
+          f"{len(lld.state.blocks)} logical blocks, "
+          f"{disk.clock.now:.2f} simulated seconds")
+
+
+def main() -> None:
+    one_fs_many_lds()
+    many_clients_one_ld()
+
+
+if __name__ == "__main__":
+    main()

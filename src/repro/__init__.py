@@ -1,0 +1,16 @@
+"""Reproduction of "The Logical Disk: A New Approach to Improving File
+Systems" (de Jonge, Kaashoek, Hsieh - SOSP 1993).
+
+Quick orientation (see README.md and DESIGN.md for the full map):
+
+* :mod:`repro.ld` - the Logical Disk interface (Table 1 + section 2.2).
+* :mod:`repro.lld` - the log-structured implementation (paper section 3).
+* :mod:`repro.uld`, :mod:`repro.loge` - alternative LD implementations.
+* :mod:`repro.fs.minix` - MINIX over classic or LD storage (paper section 4).
+* :mod:`repro.fs.ffs` - the SunOS/FFS-style comparison file system.
+* :mod:`repro.fs.dosfs` - the FAT-less DOS FS (Figure 1 / section 5.4).
+* :mod:`repro.btree` - the database client (Figure 1 / section 5.4).
+* :mod:`repro.disk`, :mod:`repro.sim` - the calibrated disk simulator.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,16 @@
+"""Analytical models of log-structured storage performance.
+
+:mod:`repro.analysis.segsize` implements the Carson & Setia style optimal
+write-batch analysis the paper discusses in section 5.3: "large segments
+are good for write performance, but can have an adverse effect on read
+performance", with an optimum determined by the disk's access costs.
+"""
+
+from repro.analysis.segsize import (
+    write_efficiency,
+    write_throughput,
+    efficiency_knee,
+    sweep,
+)
+
+__all__ = ["write_efficiency", "write_throughput", "efficiency_knee", "sweep"]

@@ -1,0 +1,136 @@
+"""Builders for the systems under test.
+
+The paper's testbed: a 400 MB partition of an HP C3010, 0.5 MB segments,
+4 KB blocks, a static 6144 KB buffer cache for both MINIX variants, 8 KB
+blocks for SunOS. Benchmarks run a scaled-down copy of that configuration
+(default 1/10th: 40 MB partition, same segment/block sizes, cache scaled so
+the cache-to-working-set ratio is preserved). Set the environment variable
+``REPRO_BENCH_SCALE=1.0`` to run at full paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.fs.ffs import make_ffs
+from repro.fs.minix import make_minix, make_minix_lld
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+
+KB = 1024
+MB = 1024 * KB
+
+
+def default_scale() -> float:
+    """Benchmark scale factor (fraction of the paper's workload sizes)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@dataclass(frozen=True)
+class BuildSpec:
+    """Scaled copy of the paper's testbed configuration."""
+
+    scale: float = 0.1
+    partition_mb: int = 400
+    cache_bytes: int = 6144 * KB
+    segment_size: int = 512 * KB
+    block_size: int = 4 * KB
+    ninodes: int = 12288
+
+    @classmethod
+    def from_scale(cls, scale: float | None = None) -> "BuildSpec":
+        scale = default_scale() if scale is None else scale
+        return cls(
+            scale=scale,
+            partition_mb=max(8, int(400 * scale)),
+            cache_bytes=max(256 * KB, int(6144 * KB * scale)),
+            segment_size=512 * KB,
+            block_size=4 * KB,
+            ninodes=max(1024, int(12288 * scale)),
+        )
+
+    def small_file_count(self, paper_count: int) -> int:
+        return max(16, int(paper_count * self.scale))
+
+    def large_file_mb(self, paper_mb: int = 80) -> int:
+        return max(2, int(paper_mb * self.scale))
+
+
+def fresh_disk(spec: BuildSpec) -> SimulatedDisk:
+    """A new simulated HP C3010 partition."""
+    return SimulatedDisk(hp_c3010(capacity_mb=spec.partition_mb), VirtualClock())
+
+
+def build_minix(spec: BuildSpec, readahead: bool = True):
+    """Plain MINIX (4 KB blocks, bitmaps, read-ahead on)."""
+    fs = make_minix(
+        fresh_disk(spec),
+        cache_bytes=spec.cache_bytes,
+        ninodes=spec.ninodes,
+        readahead=readahead,
+    )
+    return fs
+
+
+def build_minix_lld(
+    spec: BuildSpec,
+    list_per_file: bool = True,
+    inode_block_mode: str = "packed",
+    lists_enabled: bool = True,
+    segment_size: int | None = None,
+    compression: bool = False,
+):
+    """MINIX LLD (0.5 MB segments, 4 KB blocks, read-ahead off).
+
+    Returns ``(fs, lld)`` so benchmarks can inspect LD statistics.
+    """
+    config = LLDConfig(
+        segment_size=segment_size or spec.segment_size,
+        block_size=spec.block_size,
+        lists_enabled=lists_enabled,
+        checkpoint_slots=2,
+    )
+    lld = LLD(fresh_disk(spec), config)
+    lld.initialize()
+    fs = make_minix_lld(
+        lld,
+        cache_bytes=spec.cache_bytes,
+        ninodes=min(spec.ninodes, spec.block_size * 8),
+        list_per_file=list_per_file,
+        inode_block_mode=inode_block_mode,
+    )
+    if compression:
+        _enable_compression(fs, lld)
+    return fs, lld
+
+
+def _enable_compression(fs, lld) -> None:
+    """Turn on per-list compression for every future file list.
+
+    MINIX LLD with compression compresses user data and file-system
+    structures but not LD's own structures (paper §3.3); here the store's
+    new lists are created with the compress hint.
+    """
+    from repro.ld.hints import LIST_HEAD, ListHints
+
+    store = fs.store
+    original = store.new_file_context
+
+    def with_compression(near_ctx: int, directory: bool = False) -> int:
+        if not store.list_per_file:
+            return original(near_ctx, directory)
+        pred = near_ctx if near_ctx > 0 else LIST_HEAD
+        return lld.new_list(pred_lid=pred, hints=ListHints(compress=True))
+
+    store.new_file_context = with_compression
+
+
+def build_ffs(spec: BuildSpec):
+    """The FFS/SunOS-like file system (8 KB blocks, sync metadata)."""
+    return make_ffs(
+        fresh_disk(spec),
+        cache_bytes=spec.cache_bytes,
+        ninodes=spec.ninodes,
+    )

@@ -1,0 +1,105 @@
+"""The large-file microbenchmark (paper Table 5): write an 80 MB file
+sequentially, read it sequentially, write 80 MB randomly, read randomly,
+and read sequentially again — in 8 KB chunks, flushing the cache between
+phases. Reports KB/s of simulated time per phase.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+KB = 1024
+MB = 1024 * KB
+
+
+@dataclass(frozen=True)
+class LargeFilePhases:
+    """KB/second for the five phases, in paper order."""
+
+    file_mb: int
+    write_seq: float
+    read_seq: float
+    write_rand: float
+    read_rand: float
+    reread_seq: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "Write Seq.": self.write_seq,
+            "Read Seq.": self.read_seq,
+            "Write Rand.": self.write_rand,
+            "Read Rand.": self.read_rand,
+            "Read Seq. 2": self.reread_seq,
+        }
+
+
+def large_file_benchmark(
+    fs, file_mb: int, chunk_size: int = 8 * KB, path: str = "/large", seed: int = 11
+) -> LargeFilePhases:
+    """Run the five phases on a freshly created file."""
+    clock = fs.store.clock
+    total = file_mb * MB
+    nchunks = total // chunk_size
+    payload = (bytes(range(256)) * (chunk_size // 256))[:chunk_size]
+    rng = random.Random(seed)
+
+    def throughput(nbytes: int, seconds: float) -> float:
+        return (nbytes / KB) / seconds if seconds > 0 else float("inf")
+
+    # Phase 1: sequential write.
+    fd = fs.open(path, create=True)
+    t0 = clock.now
+    for _ in range(nchunks):
+        fs.write(fd, payload)
+    fs.sync()
+    write_seq = throughput(total, clock.now - t0)
+
+    # Phase 2: sequential read.
+    fs.drop_caches()
+    fs.seek(fd, 0)
+    t0 = clock.now
+    for _ in range(nchunks):
+        if len(fs.read(fd, chunk_size)) != chunk_size:
+            raise AssertionError("short sequential read")
+    read_seq = throughput(total, clock.now - t0)
+
+    # Phase 3: random writes covering the whole file.
+    fs.drop_caches()
+    offsets = [i * chunk_size for i in range(nchunks)]
+    rng.shuffle(offsets)
+    t0 = clock.now
+    for offset in offsets:
+        fs.seek(fd, offset)
+        fs.write(fd, payload)
+    fs.sync()
+    write_rand = throughput(total, clock.now - t0)
+
+    # Phase 4: random reads.
+    fs.drop_caches()
+    rng.shuffle(offsets)
+    t0 = clock.now
+    for offset in offsets:
+        fs.seek(fd, offset)
+        if len(fs.read(fd, chunk_size)) != chunk_size:
+            raise AssertionError("short random read")
+    read_rand = throughput(total, clock.now - t0)
+
+    # Phase 5: sequential read after the random writes.
+    fs.drop_caches()
+    fs.seek(fd, 0)
+    t0 = clock.now
+    for _ in range(nchunks):
+        if len(fs.read(fd, chunk_size)) != chunk_size:
+            raise AssertionError("short re-read")
+    reread_seq = throughput(total, clock.now - t0)
+
+    fs.close(fd)
+    return LargeFilePhases(
+        file_mb=file_mb,
+        write_seq=write_seq,
+        read_seq=read_seq,
+        write_rand=write_rand,
+        read_rand=read_rand,
+        reread_seq=reread_seq,
+    )

@@ -1,0 +1,42 @@
+"""Rendering paper-vs-measured tables for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def render_table(
+    title: str,
+    columns: list[str],
+    rows: dict[str, dict[str, float | str]],
+    note: str = "",
+) -> str:
+    """Format a small fixed-width table.
+
+    ``rows`` maps row label -> {column -> value}. Floats are shown with a
+    sensible precision; missing cells render as '-'.
+    """
+    label_width = max([len(r) for r in rows] + [len(title), 12])
+    col_width = max([len(c) for c in columns] + [10]) + 2
+
+    def fmt(value) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value >= 100:
+                return f"{value:.0f}"
+            if value >= 10:
+                return f"{value:.1f}"
+            return f"{value:.2f}"
+        return str(value)
+
+    lines = [f"== {title} =="]
+    header = " " * label_width + "".join(c.rjust(col_width) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, cells in rows.items():
+        line = label.ljust(label_width) + "".join(
+            fmt(cells.get(c)).rjust(col_width) for c in columns
+        )
+        lines.append(line)
+    if note:
+        lines.append(note)
+    return "\n".join(lines)

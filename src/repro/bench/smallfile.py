@@ -1,0 +1,80 @@
+"""The small-file microbenchmark (paper Table 4, after Rosenblum &
+Ousterhout): create, read, and delete N files of a given size in one
+directory; report files per second of *simulated* time per phase.
+
+The file cache is flushed between phases, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SmallFilePhases:
+    """Files/second for the three phases."""
+
+    count: int
+    size: int
+    create_per_sec: float
+    read_per_sec: float
+    delete_per_sec: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "C": self.create_per_sec,
+            "R": self.read_per_sec,
+            "D": self.delete_per_sec,
+        }
+
+
+def small_file_benchmark(
+    fs, count: int, size: int, directory: str = "/small", sync_every: int = 0
+) -> SmallFilePhases:
+    """Run the three phases on ``fs`` and measure simulated time.
+
+    ``sync_every`` > 0 syncs after every N creates/deletes (0 = only one
+    sync at the end of the phase, the paper's MINIX behaviour where
+    directory changes become stable at syncs).
+    """
+    clock = fs.store.clock
+    payload = bytes(range(256)) * (size // 256) + b"\x2a" * (size % 256)
+    fs.mkdir(directory)
+
+    t0 = clock.now
+    for i in range(count):
+        fd = fs.open(f"{directory}/f{i:06d}", create=True)
+        fs.write(fd, payload)
+        fs.close(fd)
+        if sync_every and (i + 1) % sync_every == 0:
+            fs.sync()
+    fs.sync()
+    create_time = clock.now - t0
+
+    fs.drop_caches()
+    t0 = clock.now
+    for i in range(count):
+        fd = fs.open(f"{directory}/f{i:06d}")
+        data = fs.read(fd, size)
+        if len(data) != size:
+            raise AssertionError(f"short read: {len(data)} != {size}")
+        fs.close(fd)
+    read_time = clock.now - t0
+
+    fs.drop_caches()
+    t0 = clock.now
+    for i in range(count):
+        fs.unlink(f"{directory}/f{i:06d}")
+        if sync_every and (i + 1) % sync_every == 0:
+            fs.sync()
+    fs.sync()
+    delete_time = clock.now - t0
+
+    fs.rmdir(directory)
+    return SmallFilePhases(
+        count=count,
+        size=size,
+        create_per_sec=count / create_time if create_time else float("inf"),
+        read_per_sec=count / read_time if read_time else float("inf"),
+        delete_per_sec=count / delete_time if delete_time else float("inf"),
+    )

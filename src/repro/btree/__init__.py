@@ -1,0 +1,16 @@
+"""A B+-tree database on the Logical Disk (Figure 1's third client).
+
+The paper's Figure 1 shows a "Database FS (B-trees)" sharing the LD
+interface with UNIX and DOS file systems, and §5.4 notes that logical
+block numbers make B-trees pleasant to build: page addresses are stable
+(no cascading pointer rewrites when storage moves pages), structural
+modifications can be wrapped in atomic recovery units, and the tree's
+pages live on a block list so LD clusters them.
+
+:class:`BTree` is that client: an ordered map from integer keys to small
+byte-string values, one LD block per node, every mutation crash-atomic.
+"""
+
+from repro.btree.btree import BTree, BTreeError
+
+__all__ = ["BTree", "BTreeError"]

@@ -1,0 +1,404 @@
+"""B+-tree node formats and operations over a LogicalDisk."""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+
+from repro.ld.hints import LIST_HEAD, ListHints
+from repro.ld.interface import LogicalDisk
+
+_NONE = 0xFFFFFFFF
+
+_META = struct.Struct("<2sHIIQ")  # magic, version, root bid, height, count
+_LEAF_HEADER = struct.Struct("<2sHI")  # magic, nkeys, next-leaf bid
+_LEAF_ENTRY = struct.Struct("<QH")  # key, value length
+_INNER_HEADER = struct.Struct("<2sH")  # magic, nkeys
+
+META_MAGIC = b"BM"
+LEAF_MAGIC = b"BL"
+INNER_MAGIC = b"BI"
+
+MAX_VALUE_BYTES = 1024
+
+
+class BTreeError(Exception):
+    """Structural or usage error in the B-tree."""
+
+
+@dataclass
+class _Leaf:
+    keys: list[int] = field(default_factory=list)
+    values: list[bytes] = field(default_factory=list)
+    next_leaf: int | None = None
+
+    def packed_size(self) -> int:
+        return _LEAF_HEADER.size + sum(
+            _LEAF_ENTRY.size + len(v) for v in self.values
+        )
+
+    def pack(self) -> bytes:
+        out = bytearray(
+            _LEAF_HEADER.pack(
+                LEAF_MAGIC,
+                len(self.keys),
+                _NONE if self.next_leaf is None else self.next_leaf,
+            )
+        )
+        for key, value in zip(self.keys, self.values):
+            out += _LEAF_ENTRY.pack(key, len(value))
+            out += value
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "_Leaf":
+        magic, nkeys, next_leaf = _LEAF_HEADER.unpack_from(data, 0)
+        if magic != LEAF_MAGIC:
+            raise BTreeError("not a leaf page")
+        node = cls(next_leaf=None if next_leaf == _NONE else next_leaf)
+        offset = _LEAF_HEADER.size
+        for _ in range(nkeys):
+            key, vlen = _LEAF_ENTRY.unpack_from(data, offset)
+            offset += _LEAF_ENTRY.size
+            node.keys.append(key)
+            node.values.append(bytes(data[offset : offset + vlen]))
+            offset += vlen
+        return node
+
+
+@dataclass
+class _Inner:
+    keys: list[int] = field(default_factory=list)
+    children: list[int] = field(default_factory=list)  # len(keys) + 1
+
+    def packed_size(self) -> int:
+        return _INNER_HEADER.size + 8 * len(self.keys) + 4 * len(self.children)
+
+    def pack(self) -> bytes:
+        out = bytearray(_INNER_HEADER.pack(INNER_MAGIC, len(self.keys)))
+        for key in self.keys:
+            out += struct.pack("<Q", key)
+        for child in self.children:
+            out += struct.pack("<I", child)
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "_Inner":
+        magic, nkeys = _INNER_HEADER.unpack_from(data, 0)
+        if magic != INNER_MAGIC:
+            raise BTreeError("not an inner page")
+        offset = _INNER_HEADER.size
+        keys = list(struct.unpack_from(f"<{nkeys}Q", data, offset))
+        offset += 8 * nkeys
+        children = list(struct.unpack_from(f"<{nkeys + 1}I", data, offset))
+        return cls(keys=keys, children=children)
+
+
+class BTree:
+    """An ordered map of ``int -> bytes`` stored in LD blocks.
+
+    Create a new tree with :meth:`create`; reattach to an existing one
+    with :meth:`open` (the meta page's block number is the tree's stable
+    name — logical block numbers never change).
+    """
+
+    def __init__(self, ld: LogicalDisk, lid: int, meta_bid: int, page_size: int) -> None:
+        self.ld = ld
+        self.lid = lid
+        self.meta_bid = meta_bid
+        self.page_size = page_size
+        self.root: int | None = None
+        self.height = 0
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, ld: LogicalDisk, page_size: int = 4096) -> "BTree":
+        """Allocate a fresh, empty tree; returns the handle."""
+        lid = ld.new_list(hints=ListHints(cluster=True))
+        meta_bid = ld.new_block(lid, LIST_HEAD)
+        tree = cls(ld, lid, meta_bid, page_size)
+        tree._write_meta()
+        return tree
+
+    @classmethod
+    def open(cls, ld: LogicalDisk, meta_bid: int, lid: int, page_size: int = 4096) -> "BTree":
+        """Reattach to the tree whose meta page is ``meta_bid``."""
+        tree = cls(ld, lid, meta_bid, page_size)
+        raw = ld.read(meta_bid)
+        if len(raw) < _META.size:
+            raise BTreeError("missing B-tree meta page")
+        magic, _version, root, height, count = _META.unpack_from(raw, 0)
+        if magic != META_MAGIC:
+            raise BTreeError("not a B-tree meta page")
+        tree.root = None if root == _NONE else root
+        tree.height = height
+        tree.count = count
+        return tree
+
+    def _write_meta(self) -> None:
+        self.ld.write(
+            self.meta_bid,
+            _META.pack(
+                META_MAGIC,
+                1,
+                _NONE if self.root is None else self.root,
+                self.height,
+                self.count,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Node I/O
+    # ------------------------------------------------------------------
+
+    def _alloc_page(self) -> int:
+        return self.ld.new_block(self.lid, self.meta_bid)
+
+    def _read_node(self, bid: int):
+        data = self.ld.read(bid)
+        if data[:2] == LEAF_MAGIC:
+            return _Leaf.unpack(data)
+        if data[:2] == INNER_MAGIC:
+            return _Inner.unpack(data)
+        raise BTreeError(f"block {bid} holds no B-tree page")
+
+    def _write_node(self, bid: int, node) -> None:
+        self.ld.write(bid, node.pack())
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: int, default: bytes | None = None) -> bytes | None:
+        """The value stored for ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        if leaf is None:
+            return default
+        _bid, node, _path = leaf
+        index = bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index]
+        return default
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _find_leaf(self, key: int):
+        """Descend to the leaf for ``key``; returns (bid, node, path).
+
+        ``path`` is [(inner_bid, inner_node, child_index), ...] root-first.
+        """
+        if self.root is None:
+            return None
+        bid = self.root
+        path: list[tuple[int, _Inner, int]] = []
+        for _ in range(self.height):
+            node = self._read_node(bid)
+            if not isinstance(node, _Inner):
+                raise BTreeError("height bookkeeping out of sync")
+            index = bisect_right(node.keys, key)
+            path.append((bid, node, index))
+            bid = node.children[index]
+        node = self._read_node(bid)
+        if not isinstance(node, _Leaf):
+            raise BTreeError("expected a leaf at the bottom")
+        return bid, node, path
+
+    def items(self, lo: int | None = None, hi: int | None = None):
+        """Yield (key, value) in order, optionally within [lo, hi)."""
+        if self.root is None:
+            return
+        # Walk down the left spine (or to `lo`'s leaf).
+        found = self._find_leaf(lo if lo is not None else 0)
+        if found is None:
+            return
+        bid, node, _path = found
+        while True:
+            for key, value in zip(node.keys, node.values):
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key >= hi:
+                    return
+                yield key, value
+            if node.next_leaf is None:
+                return
+            node = self._read_node(node.next_leaf)
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> None:
+        """Insert or update ``key`` atomically (one ARU per mutation)."""
+        value = bytes(value)
+        if len(value) > MAX_VALUE_BYTES:
+            raise BTreeError(
+                f"value of {len(value)} bytes exceeds limit {MAX_VALUE_BYTES}"
+            )
+        if key < 0 or key >= 2**64:
+            raise BTreeError(f"key out of unsigned 64-bit range: {key}")
+        with self.ld.aru():
+            self._insert_inner(key, value)
+
+    def _insert_inner(self, key: int, value: bytes) -> None:
+        if self.root is None:
+            bid = self._alloc_page()
+            self._write_node(bid, _Leaf(keys=[key], values=[value]))
+            self.root = bid
+            self.height = 0
+            self.count = 1
+            self._write_meta()
+            return
+        bid, leaf, path = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            leaf.values[index] = value  # update in place
+        else:
+            leaf.keys.insert(index, key)
+            leaf.values.insert(index, value)
+            self.count += 1
+        if leaf.packed_size() <= self.page_size:
+            self._write_node(bid, leaf)
+            self._write_meta()
+            return
+        self._split_leaf(bid, leaf, path)
+        self._write_meta()
+
+    def _split_leaf(self, bid: int, leaf: _Leaf, path) -> None:
+        half = len(leaf.keys) // 2
+        right = _Leaf(
+            keys=leaf.keys[half:],
+            values=leaf.values[half:],
+            next_leaf=leaf.next_leaf,
+        )
+        right_bid = self._alloc_page()
+        leaf.keys = leaf.keys[:half]
+        leaf.values = leaf.values[:half]
+        leaf.next_leaf = right_bid
+        self._write_node(right_bid, right)
+        self._write_node(bid, leaf)
+        self._insert_into_parent(path, bid, right.keys[0], right_bid)
+
+    def _insert_into_parent(self, path, left_bid: int, key: int, right_bid: int) -> None:
+        if not path:
+            root = _Inner(keys=[key], children=[left_bid, right_bid])
+            root_bid = self._alloc_page()
+            self._write_node(root_bid, root)
+            self.root = root_bid
+            self.height += 1
+            return
+        parent_bid, parent, child_index = path[-1]
+        parent.keys.insert(child_index, key)
+        parent.children.insert(child_index + 1, right_bid)
+        if parent.packed_size() <= self.page_size:
+            self._write_node(parent_bid, parent)
+            return
+        half = len(parent.keys) // 2
+        promote = parent.keys[half]
+        right = _Inner(
+            keys=parent.keys[half + 1 :],
+            children=parent.children[half + 1 :],
+        )
+        parent.keys = parent.keys[:half]
+        parent.children = parent.children[: half + 1]
+        right_parent_bid = self._alloc_page()
+        self._write_node(right_parent_bid, right)
+        self._write_node(parent_bid, parent)
+        self._insert_into_parent(path[:-1], parent_bid, promote, right_parent_bid)
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; returns False if it was absent.
+
+        Underflowing leaves are tolerated; a leaf that empties completely
+        is unlinked from its parent (lazy rebalancing — simple and
+        correct, at a modest space cost for adversarial workloads).
+        """
+        with self.ld.aru():
+            return self._delete_inner(key)
+
+    def _delete_inner(self, key: int) -> bool:
+        found = self._find_leaf(key)
+        if found is None:
+            return False
+        bid, leaf, path = found
+        index = bisect_left(leaf.keys, key)
+        if index >= len(leaf.keys) or leaf.keys[index] != key:
+            return False
+        del leaf.keys[index]
+        del leaf.values[index]
+        self.count -= 1
+        if leaf.keys or not path:
+            self._write_node(bid, leaf)
+            if not leaf.keys and not path:
+                # The tree is now completely empty.
+                self.ld.delete_block(bid, self.lid, pred_bid_hint=self.meta_bid)
+                self.root = None
+                self.height = 0
+            self._write_meta()
+            return True
+        # The leaf emptied: unlink it from its parent and repair the chain.
+        self._unlink_leaf(bid, path)
+        self._write_meta()
+        return True
+
+    def _unlink_leaf(self, bid: int, path) -> None:
+        parent_bid, parent, child_index = path[-1]
+        # Repair the next-leaf chain via the left sibling, if any.
+        if child_index > 0:
+            left_bid = parent.children[child_index - 1]
+            left = self._read_node(left_bid)
+            dead = self._read_node(bid)
+            left.next_leaf = dead.next_leaf
+            self._write_node(left_bid, left)
+        del parent.children[child_index]
+        if child_index > 0:
+            del parent.keys[child_index - 1]
+        elif parent.keys:
+            del parent.keys[0]
+        self.ld.delete_block(bid, self.lid)
+        if parent.keys:
+            self._write_node(parent_bid, parent)
+            return
+        # Parent down to a single child: collapse it.
+        only_child = parent.children[0]
+        self._collapse_parent(parent_bid, only_child, path[:-1])
+
+    def _collapse_parent(self, parent_bid: int, only_child: int, rest) -> None:
+        if not rest:
+            self.ld.delete_block(parent_bid, self.lid)
+            self.root = only_child
+            self.height -= 1
+            return
+        grand_bid, grand, index = rest[-1]
+        grand.children[index] = only_child
+        self._write_node(grand_bid, grand)
+        self.ld.delete_block(parent_bid, self.lid)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate ordering, chaining, and count (used by tests)."""
+        seen = []
+        for key, _value in self.items():
+            seen.append(key)
+        if seen != sorted(set(seen)):
+            raise BTreeError("keys out of order or duplicated")
+        if len(seen) != self.count:
+            raise BTreeError(f"count {self.count} != scanned {len(seen)}")
+
+    def __repr__(self) -> str:
+        return f"BTree(count={self.count}, height={self.height})"

@@ -1,0 +1,22 @@
+"""On-line compression substrate.
+
+The paper compresses segments with Wheeler's algorithm (Burrows et al.,
+ASPLOS 1992), for which no public source exists. We substitute an
+LZRW1-style byte-oriented LZ codec with similar speed/ratio characteristics
+and model its *bandwidth* separately (see DESIGN.md, Substitutions), so the
+pipelined-write / serial-read throughput asymmetry of paper section 4.2
+reproduces.
+"""
+
+from repro.compress.lzrw import compress, decompress, compressed_ratio
+from repro.compress.model import CompressionModel
+from repro.compress.data import compressible_bytes, random_bytes
+
+__all__ = [
+    "compress",
+    "decompress",
+    "compressed_ratio",
+    "CompressionModel",
+    "compressible_bytes",
+    "random_bytes",
+]

@@ -1,0 +1,80 @@
+"""Synthetic data generators with controlled compressibility.
+
+The paper's compression results assume Wheeler's algorithm achieves roughly
+a 60% compression ratio on typical file data (Burrows et al. 1992).
+Workloads in this reproduction use :func:`compressible_bytes` to produce
+data that our LZRW codec compresses to approximately a target ratio, and
+:func:`random_bytes` for incompressible data.
+
+Both generators are deterministic given a seed, so benchmarks are
+repeatable without touching ``random``'s global state.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    """``n`` pseudo-random (incompressible) bytes."""
+    rng = random.Random(seed)
+    return rng.randbytes(n)
+
+
+def compressible_bytes(n: int, ratio: float = 0.6, seed: int = 0) -> bytes:
+    """``n`` bytes that compress to roughly ``ratio`` of their size.
+
+    The generator interleaves runs of a repeated phrase (highly
+    compressible) with runs of random bytes (incompressible); the mix is
+    tuned by binary search over the phrase fraction so the *actual* codec
+    ratio lands near ``ratio``. For the default ratio this converges in a
+    couple of iterations and is cached per (n, ratio, seed).
+    """
+    if not 0.05 <= ratio <= 1.0:
+        raise ValueError(f"ratio must be in [0.05, 1.0], got {ratio}")
+    key = (n, round(ratio, 3), seed)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    lo, hi = 0.0, 1.0
+    data = b""
+    for _ in range(12):
+        phrase_fraction = (lo + hi) / 2.0
+        data = _mix(n, phrase_fraction, seed)
+        achieved = _quick_ratio(data)
+        if abs(achieved - ratio) < 0.02:
+            break
+        if achieved > ratio:
+            lo = phrase_fraction  # need more compressible content
+        else:
+            hi = phrase_fraction
+    _CACHE[key] = data
+    return data
+
+
+_CACHE: dict[tuple[int, float, int], bytes] = {}
+_PHRASE = b"the quick brown fox jumps over the lazy dog 0123456789 "
+
+
+def _mix(n: int, phrase_fraction: float, seed: int) -> bytes:
+    rng = random.Random(seed)
+    out = bytearray()
+    chunk = 256
+    while len(out) < n:
+        take = min(chunk, n - len(out))
+        if rng.random() < phrase_fraction:
+            reps = (take // len(_PHRASE)) + 1
+            out.extend((_PHRASE * reps)[:take])
+        else:
+            out.extend(rng.randbytes(take))
+    return bytes(out[:n])
+
+
+def _quick_ratio(data: bytes) -> float:
+    """Codec ratio measured on a prefix sample (keeps calibration cheap)."""
+    from repro.compress.lzrw import compress
+
+    sample = data[: min(len(data), 16384)]
+    if not sample:
+        return 1.0
+    return len(compress(sample)) / len(sample)

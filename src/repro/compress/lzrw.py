@@ -1,0 +1,130 @@
+"""An LZRW1-style compressor.
+
+Format (little-endian throughout):
+
+* The stream is a sequence of *groups*. Each group starts with a 2-byte
+  control word whose bits describe up to 16 items, LSB first: bit set means
+  *copy*, bit clear means *literal*.
+* A literal item is one raw byte.
+* A copy item is 2 bytes: the low 12 bits hold ``offset - 1`` (distance back
+  into the output, 1..4096), the high 4 bits hold ``length - MIN_MATCH``
+  (match lengths 3..18).
+* The final group may describe fewer than 16 items; decompression stops when
+  the advertised uncompressed length has been produced.
+
+The codec is deterministic and self-contained; callers are expected to store
+the uncompressed length out of band (LLD keeps it in the block-number map,
+exactly as the paper stores block lengths).
+"""
+
+from __future__ import annotations
+
+MIN_MATCH = 3
+MAX_MATCH = 18
+WINDOW = 4096
+_HASH_SIZE = 4096
+
+
+def _hash3(data: bytes, i: int) -> int:
+    """Hash the 3 bytes at ``data[i:i+3]`` into the match table."""
+    return ((data[i] << 8) ^ (data[i + 1] << 4) ^ data[i + 2]) & (_HASH_SIZE - 1)
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data``; output may be longer than the input for random data."""
+    n = len(data)
+    if n == 0:
+        return b""
+    table = [-1] * _HASH_SIZE
+    out = bytearray()
+    control = 0
+    control_pos = len(out)
+    out.extend(b"\x00\x00")
+    items = 0
+    i = 0
+
+    def finish_group() -> None:
+        nonlocal control, control_pos, items
+        out[control_pos] = control & 0xFF
+        out[control_pos + 1] = (control >> 8) & 0xFF
+        control = 0
+        items = 0
+
+    while i < n:
+        if items == 16:
+            finish_group()
+            control_pos = len(out)
+            out.extend(b"\x00\x00")
+        match_len = 0
+        match_pos = -1
+        if i + MIN_MATCH <= n:
+            candidate = table[_hash3(data, i)]
+            if candidate >= 0 and i - candidate <= WINDOW:
+                limit = min(MAX_MATCH, n - i)
+                length = 0
+                while length < limit and data[candidate + length] == data[i + length]:
+                    length += 1
+                if length >= MIN_MATCH:
+                    match_len = length
+                    match_pos = candidate
+        if i + MIN_MATCH <= n:
+            table[_hash3(data, i)] = i
+        if match_len:
+            offset = i - match_pos
+            control |= 1 << items
+            word = (offset - 1) | ((match_len - MIN_MATCH) << 12)
+            out.append(word & 0xFF)
+            out.append((word >> 8) & 0xFF)
+            i += match_len
+        else:
+            out.append(data[i])
+            i += 1
+        items += 1
+    finish_group()
+    return bytes(out)
+
+
+def decompress(data: bytes, original_length: int) -> bytes:
+    """Reverse :func:`compress`; ``original_length`` bounds the output."""
+    if original_length == 0:
+        return b""
+    if not data:
+        raise ValueError("empty compressed stream for non-empty output")
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while len(out) < original_length:
+        if i + 2 > n:
+            raise ValueError("truncated compressed stream (control word)")
+        control = data[i] | (data[i + 1] << 8)
+        i += 2
+        for bit in range(16):
+            if len(out) >= original_length:
+                break
+            if control & (1 << bit):
+                if i + 2 > n:
+                    raise ValueError("truncated compressed stream (copy item)")
+                word = data[i] | (data[i + 1] << 8)
+                i += 2
+                offset = (word & 0x0FFF) + 1
+                length = (word >> 12) + MIN_MATCH
+                if offset > len(out):
+                    raise ValueError(
+                        f"copy offset {offset} exceeds output length {len(out)}"
+                    )
+                start = len(out) - offset
+                for k in range(length):
+                    out.append(out[start + k])
+            else:
+                if i >= n:
+                    raise ValueError("truncated compressed stream (literal)")
+                out.append(data[i])
+                i += 1
+    return bytes(out[:original_length])
+
+
+def compressed_ratio(data: bytes) -> float:
+    """Compressed size divided by original size (lower is better)."""
+    if not data:
+        return 1.0
+    return len(compress(data)) / len(data)

@@ -1,0 +1,28 @@
+"""Simulated disk substrate.
+
+The paper evaluated MINIX LLD on an HP C3010 (SCSI-II, 5400 rpm, 11.5 ms
+average seek) behind SunOS's raw-disk interface. We do not have that
+hardware, so this package provides a calibrated disk simulator:
+
+* real geometry (cylinders, heads, sectors per track),
+* a seek curve ``t = a + b*sqrt(distance)``,
+* rotational position derived from the shared virtual clock,
+* per-request host/controller overhead (which is what makes back-to-back
+  single-block writes lose a rotation, the effect the paper measured as
+  300 KB/s for MINIX vs 2400 KB/s for segment-sized writes),
+* real bytes stored per sector, so layers above can serialize and re-read
+  their on-disk structures.
+"""
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.disk import SimulatedDisk
+from repro.disk.stats import DiskStats
+from repro.disk.profiles import hp_c3010, fast_test_disk
+
+__all__ = [
+    "DiskGeometry",
+    "SimulatedDisk",
+    "DiskStats",
+    "hp_c3010",
+    "fast_test_disk",
+]

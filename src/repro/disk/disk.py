@@ -1,0 +1,178 @@
+"""The simulated disk proper: byte storage plus a mechanical time model."""
+
+from __future__ import annotations
+
+import math
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.stats import DiskStats
+from repro.sim.clock import VirtualClock
+
+
+class SimulatedDisk:
+    """A disk that stores real bytes and charges realistic simulated time.
+
+    The mechanical model:
+
+    * **Seek.** ``t(d) = min_seek + b * (sqrt(d) - 1)`` for distance ``d >= 1``
+      cylinders, with ``b`` chosen so that a full-stroke seek costs
+      ``max_seek``. This is the standard square-root arm model.
+    * **Rotation.** The platter position is a pure function of the virtual
+      clock, so a request that arrives "late" (e.g. after per-request host
+      overhead) genuinely misses its rotational window and waits most of a
+      revolution — the effect behind the paper's 300 KB/s back-to-back
+      4 KB write measurement.
+    * **Transfer.** One sector time per sector; crossing a track boundary
+      charges a head switch, crossing a cylinder boundary charges a
+      single-cylinder seek. Track skew is assumed ideal, i.e. the switch
+      costs only the switch time, not an extra rotation.
+    * **Overhead.** A fixed per-request host/controller cost charged before
+      the mechanism starts.
+
+    Storage is sparse: sectors never written read back as zeros.
+    """
+
+    def __init__(self, geometry: DiskGeometry, clock: VirtualClock) -> None:
+        self.geometry = geometry
+        self.clock = clock
+        self.stats = DiskStats()
+        self._sectors: dict[int, bytes] = {}
+        self._current_cylinder = 0
+        # Pre-computed seek-curve slope: min + b*(sqrt(max_dist)-1) == max.
+        max_dist = max(1, geometry.cylinders - 1)
+        denom = max(1e-12, math.sqrt(max_dist) - 1.0)
+        self._seek_slope = (geometry.max_seek_ms - geometry.min_seek_ms) / 1000.0 / denom
+
+    # ------------------------------------------------------------------
+    # Time model
+    # ------------------------------------------------------------------
+
+    def seek_time(self, from_cyl: int, to_cyl: int) -> float:
+        """Seconds to move the arm between two cylinders."""
+        distance = abs(to_cyl - from_cyl)
+        if distance == 0:
+            return 0.0
+        return self.geometry.min_seek_ms / 1000.0 + self._seek_slope * (
+            math.sqrt(distance) - 1.0
+        )
+
+    def _rotational_wait(self, target_sector: int) -> float:
+        """Seconds until ``target_sector`` rotates under the head."""
+        geo = self.geometry
+        position = (self.clock.now / geo.sector_time) % geo.sectors_per_track
+        delta = target_sector - position
+        if delta < 0:
+            delta += geo.sectors_per_track
+        return delta * geo.sector_time
+
+    def _charge_access(self, lba: int, nsectors: int) -> None:
+        """Advance the clock by the mechanical cost of one request."""
+        geo = self.geometry
+        stats = self.stats
+
+        overhead = geo.request_overhead_ms / 1000.0
+        self.clock.advance(overhead)
+        stats.overhead_time += overhead
+
+        cylinder, _head, sector = geo.decompose(lba)
+        seek = self.seek_time(self._current_cylinder, cylinder)
+        if seek:
+            self.clock.advance(seek)
+            stats.seek_time += seek
+            stats.seeks += 1
+        self._current_cylinder = cylinder
+
+        rotation = self._rotational_wait(sector)
+        if rotation:
+            self.clock.advance(rotation)
+            stats.rotation_time += rotation
+
+        # Transfer, accounting for track and cylinder crossings.
+        remaining = nsectors
+        position = lba
+        while remaining > 0:
+            _cyl, _head, sec = geo.decompose(position)
+            run = min(remaining, geo.sectors_per_track - sec)
+            transfer = run * geo.sector_time
+            self.clock.advance(transfer)
+            stats.transfer_time += transfer
+            remaining -= run
+            position += run
+            if remaining > 0:
+                next_cyl = geo.cylinder_of(position)
+                if next_cyl != self._current_cylinder:
+                    cyl_seek = self.seek_time(self._current_cylinder, next_cyl)
+                    self.clock.advance(cyl_seek)
+                    stats.seek_time += cyl_seek
+                    self._current_cylinder = next_cyl
+                else:
+                    switch = geo.head_switch_ms / 1000.0
+                    self.clock.advance(switch)
+                    stats.head_switch_time += switch
+
+    # ------------------------------------------------------------------
+    # Data access
+    # ------------------------------------------------------------------
+
+    def _check_range(self, lba: int, nsectors: int) -> None:
+        if nsectors <= 0:
+            raise ValueError(f"sector count must be positive: {nsectors}")
+        if lba < 0 or lba + nsectors > self.geometry.total_sectors:
+            raise ValueError(
+                f"request [{lba}, {lba + nsectors}) outside disk of "
+                f"{self.geometry.total_sectors} sectors"
+            )
+
+    def read(self, lba: int, nsectors: int) -> bytes:
+        """Read ``nsectors`` contiguous sectors starting at ``lba``."""
+        self._check_range(lba, nsectors)
+        self._charge_access(lba, nsectors)
+        self.stats.record_request(nsectors, write=False)
+        size = self.geometry.sector_size
+        zero = b"\x00" * size
+        return b"".join(self._sectors.get(lba + i, zero) for i in range(nsectors))
+
+    def write(self, lba: int, data: bytes) -> None:
+        """Write ``data`` (a whole number of sectors) starting at ``lba``."""
+        size = self.geometry.sector_size
+        if len(data) % size != 0:
+            raise ValueError(
+                f"write length {len(data)} is not a multiple of sector size {size}"
+            )
+        nsectors = len(data) // size
+        self._check_range(lba, nsectors)
+        self._charge_access(lba, nsectors)
+        self.stats.record_request(nsectors, write=True)
+        for i in range(nsectors):
+            self._sectors[lba + i] = bytes(data[i * size : (i + 1) * size])
+
+    # ------------------------------------------------------------------
+    # Failure injection / inspection
+    # ------------------------------------------------------------------
+
+    def peek(self, lba: int, nsectors: int) -> bytes:
+        """Read bytes without charging time (for tests and recovery checks)."""
+        self._check_range(lba, nsectors)
+        size = self.geometry.sector_size
+        zero = b"\x00" * size
+        return b"".join(self._sectors.get(lba + i, zero) for i in range(nsectors))
+
+    def corrupt(self, lba: int, nsectors: int = 1) -> None:
+        """Overwrite sectors with garbage without charging time (fault injection)."""
+        self._check_range(lba, nsectors)
+        size = self.geometry.sector_size
+        junk = bytes((0xDE, 0xAD, 0xBE, 0xEF)) * (size // 4)
+        for i in range(nsectors):
+            self._sectors[lba + i] = junk
+
+    @property
+    def sectors_populated(self) -> int:
+        """Number of sectors ever written (sparse-store footprint)."""
+        return len(self._sectors)
+
+    def __repr__(self) -> str:
+        geo = self.geometry
+        return (
+            f"SimulatedDisk({geo.capacity_bytes // (1024 * 1024)} MB, "
+            f"{geo.rpm} rpm, cyl={self._current_cylinder})"
+        )

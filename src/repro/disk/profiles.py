@@ -1,0 +1,58 @@
+"""Ready-made disk profiles.
+
+``hp_c3010`` is calibrated so the two raw-disk anchor measurements reported
+in the paper hold on the simulator:
+
+* a tight loop of 0.5 MB writes achieves about 2400 KB/s,
+* back-to-back 4 KB writes achieve about 300 KB/s (the extra-rotation
+  effect the paper describes for plain MINIX).
+
+``tests/disk/test_calibration.py`` asserts both anchors.
+"""
+
+from __future__ import annotations
+
+from repro.disk.geometry import DiskGeometry
+
+
+def hp_c3010(capacity_mb: int = 400) -> DiskGeometry:
+    """Geometry modelled after the paper's HP C3010 partition.
+
+    The paper used a 400 MB partition of a 2 GB drive (SCSI-II, 5400 rpm,
+    11.5 ms average seek). ``capacity_mb`` sizes the simulated partition;
+    timing constants are unchanged, so smaller partitions only shorten the
+    maximum seek distance in use, just as a real partition would.
+    """
+    geometry = DiskGeometry(
+        sector_size=512,
+        sectors_per_track=60,
+        heads=8,
+        cylinders=1,  # placeholder, replaced below
+        rpm=5400,
+        min_seek_ms=1.5,
+        max_seek_ms=22.0,
+        head_switch_ms=0.5,
+        request_overhead_ms=1.5,
+    )
+    bytes_per_cylinder = geometry.sectors_per_track * geometry.heads * geometry.sector_size
+    cylinders = max(4, (capacity_mb * 1024 * 1024) // bytes_per_cylinder)
+    return DiskGeometry(
+        sector_size=geometry.sector_size,
+        sectors_per_track=geometry.sectors_per_track,
+        heads=geometry.heads,
+        cylinders=cylinders,
+        rpm=geometry.rpm,
+        min_seek_ms=geometry.min_seek_ms,
+        max_seek_ms=geometry.max_seek_ms,
+        head_switch_ms=geometry.head_switch_ms,
+        request_overhead_ms=geometry.request_overhead_ms,
+    )
+
+
+def fast_test_disk(capacity_mb: int = 16) -> DiskGeometry:
+    """A small disk for unit tests: same model, tiny capacity.
+
+    Timing constants match :func:`hp_c3010` so tests exercise the same code
+    paths, just over fewer cylinders.
+    """
+    return hp_c3010(capacity_mb=capacity_mb)

@@ -1,0 +1,95 @@
+"""Per-disk access statistics.
+
+The benchmark harness derives every throughput/latency figure from these
+counters plus the virtual clock, so they must account for every source of
+simulated time the disk charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DiskStats:
+    """Counters accumulated by :class:`repro.disk.SimulatedDisk`."""
+
+    reads: int = 0
+    writes: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    seeks: int = 0
+
+    seek_time: float = 0.0
+    rotation_time: float = 0.0
+    transfer_time: float = 0.0
+    overhead_time: float = 0.0
+    head_switch_time: float = 0.0
+
+    # Histogram of request sizes (in sectors), useful for workload analysis.
+    request_sizes: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        """Total requests serviced."""
+        return self.reads + self.writes
+
+    @property
+    def busy_time(self) -> float:
+        """Total simulated time the disk spent servicing requests."""
+        return (
+            self.seek_time
+            + self.rotation_time
+            + self.transfer_time
+            + self.overhead_time
+            + self.head_switch_time
+        )
+
+    @property
+    def bytes_read(self) -> int:
+        return self.sectors_read * 512
+
+    @property
+    def bytes_written(self) -> int:
+        return self.sectors_written * 512
+
+    def record_request(self, nsectors: int, write: bool) -> None:
+        """Count one request of ``nsectors`` sectors."""
+        if write:
+            self.writes += 1
+            self.sectors_written += nsectors
+        else:
+            self.reads += 1
+            self.sectors_read += nsectors
+        self.request_sizes[nsectors] = self.request_sizes.get(nsectors, 0) + 1
+
+    def snapshot(self) -> "DiskStats":
+        """Copy of the current counters (for before/after deltas)."""
+        copy = DiskStats(
+            reads=self.reads,
+            writes=self.writes,
+            sectors_read=self.sectors_read,
+            sectors_written=self.sectors_written,
+            seeks=self.seeks,
+            seek_time=self.seek_time,
+            rotation_time=self.rotation_time,
+            transfer_time=self.transfer_time,
+            overhead_time=self.overhead_time,
+            head_switch_time=self.head_switch_time,
+        )
+        copy.request_sizes = dict(self.request_sizes)
+        return copy
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.sectors_read = 0
+        self.sectors_written = 0
+        self.seeks = 0
+        self.seek_time = 0.0
+        self.rotation_time = 0.0
+        self.transfer_time = 0.0
+        self.overhead_time = 0.0
+        self.head_switch_time = 0.0
+        self.request_sizes.clear()

@@ -1,0 +1,22 @@
+"""File systems built for the reproduction.
+
+* :mod:`repro.fs.minix` — the MINIX file system with two interchangeable
+  block stores: the classic bitmap-based store (plain MINIX) and an
+  LD-backed store (MINIX LLD).
+* :mod:`repro.fs.ffs` — a simplified FFS/SunOS-style file system for the
+  SunOS rows of the paper's Tables 4 and 5.
+* :mod:`repro.fs.sprite` — the analytic Sprite LFS write-cost model used
+  for Table 6.
+"""
+
+from repro.fs.api import FileStat, FileSystemError, FileNotFound, FileExists, NotADir
+from repro.fs.cache import BufferCache
+
+__all__ = [
+    "FileStat",
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "NotADir",
+    "BufferCache",
+]

@@ -1,0 +1,73 @@
+"""Common file-system surface shared by MINIX and the FFS-like FS.
+
+The benchmark harness drives every file system through this small
+POSIX-flavoured API, so Tables 4 and 5 compare like with like:
+
+* ``open(path, create=False) -> fd``
+* ``read(fd, nbytes) -> bytes`` / ``write(fd, data)`` / ``seek(fd, pos)``
+* ``close(fd)`` / ``unlink(path)`` / ``mkdir(path)`` / ``readdir(path)``
+* ``stat(path) -> FileStat``
+* ``sync()`` — make everything durable
+* ``drop_caches()`` — sync, then empty the buffer cache (used between
+  benchmark phases, as the paper flushed the file cache before each phase)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class FileSystemError(Exception):
+    """Base error for file-system operations."""
+
+
+class FileNotFound(FileSystemError):
+    """Path does not name an existing file or directory."""
+
+
+class FileExists(FileSystemError):
+    """Attempt to create something that already exists."""
+
+
+class NotADir(FileSystemError):
+    """A path component is not a directory."""
+
+
+class IsADir(FileSystemError):
+    """File operation attempted on a directory."""
+
+
+class BadFileDescriptor(FileSystemError):
+    """fd is not open."""
+
+
+class NoSpace(FileSystemError):
+    """The file system is full."""
+
+
+@dataclass(frozen=True)
+class FileStat:
+    """Subset of ``struct stat`` the benchmarks and tests need."""
+
+    ino: int
+    size: int
+    is_dir: bool
+    nlinks: int
+    mtime: float
+
+
+def split_path(path: str) -> list[str]:
+    """Normalize an absolute path into components.
+
+    Raises :class:`FileSystemError` for relative or empty paths; rejects
+    components that do not fit the on-disk directory entry.
+    """
+    if not path.startswith("/"):
+        raise FileSystemError(f"path must be absolute: {path!r}")
+    parts = [part for part in path.split("/") if part]
+    for part in parts:
+        if len(part.encode()) > 59:
+            raise FileSystemError(f"name too long: {part!r}")
+        if part in (".", ".."):
+            raise FileSystemError("'.' and '..' are not supported in paths")
+    return parts

@@ -1,0 +1,69 @@
+"""MINIX i-nodes: 64-byte records with 7 direct, 1 indirect, and 1
+double-indirect zone pointers.
+
+The LD-backed configuration also stores the file's list identifier in the
+i-node ("MINIX stores the list identifier in the i-node, so that it can
+remember the list identifier for each file", paper section 4.1).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+INODE_SIZE = 64
+NDIRECT = 7
+NZONES = 9  # 7 direct + indirect + double indirect
+
+I_FREE = 0
+I_FILE = 1
+I_DIR = 2
+
+_FORMAT = struct.Struct("<HHIIi9I")
+assert _FORMAT.size <= INODE_SIZE
+
+
+@dataclass
+class Inode:
+    """One i-node (see module docstring for the on-disk layout)."""
+
+    mode: int = I_FREE
+    nlinks: int = 0
+    size: int = 0
+    mtime: int = 0
+    lid: int = -1  # block-list identifier (LD store); -1 = none
+    zones: list[int] = field(default_factory=lambda: [0] * NZONES)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.mode == I_DIR
+
+    @property
+    def is_file(self) -> bool:
+        return self.mode == I_FILE
+
+    @property
+    def is_free(self) -> bool:
+        return self.mode == I_FREE
+
+    def pack(self) -> bytes:
+        """Serialize to exactly :data:`INODE_SIZE` bytes."""
+        body = _FORMAT.pack(
+            self.mode, self.nlinks, self.size, self.mtime, self.lid, *self.zones
+        )
+        return body + b"\x00" * (INODE_SIZE - len(body))
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Inode":
+        """Parse the 64-byte on-disk form."""
+        if len(data) < _FORMAT.size:
+            raise ValueError(f"inode record too short: {len(data)} bytes")
+        fields = _FORMAT.unpack_from(data, 0)
+        return cls(
+            mode=fields[0],
+            nlinks=fields[1],
+            size=fields[2],
+            mtime=fields[3],
+            lid=fields[4],
+            zones=list(fields[5:14]),
+        )

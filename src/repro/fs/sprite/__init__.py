@@ -1,0 +1,27 @@
+"""Sprite LFS write-cost model (paper Table 6 and section 5.1).
+
+Table 6 in the paper is an *analytic* comparison: per-operation block-write
+costs expressed with two symbols — ε (the cost of writing one dirty i-node,
+small because Sprite collects dirty i-nodes into shared blocks) and δ (the
+per-operation share of an i-node-map block, between 0 and 1 because map
+blocks are only written at checkpoints and are shared by many operations).
+
+This package provides:
+
+* the analytic formulas (:mod:`repro.fs.sprite.model`),
+* discrete write-counting simulators for both systems
+  (:mod:`repro.fs.sprite.counter`) that measure amortized ε and δ rather
+  than assuming them — the cross-check used by the Table 6 benchmark.
+"""
+
+from repro.fs.sprite.model import CostParams, sprite_cost, minix_lld_cost, TABLE6_OPS
+from repro.fs.sprite.counter import SpriteLFSCounter, MinixLLDCounter
+
+__all__ = [
+    "CostParams",
+    "sprite_cost",
+    "minix_lld_cost",
+    "TABLE6_OPS",
+    "SpriteLFSCounter",
+    "MinixLLDCounter",
+]

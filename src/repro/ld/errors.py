@@ -1,0 +1,40 @@
+"""Error hierarchy for Logical Disk implementations."""
+
+from __future__ import annotations
+
+
+class LDError(Exception):
+    """Base class for all Logical Disk errors."""
+
+
+class NoSuchBlockError(LDError):
+    """A logical block number does not name an allocated block."""
+
+    def __init__(self, bid: int) -> None:
+        super().__init__(f"no such logical block: {bid}")
+        self.bid = bid
+
+
+class NoSuchListError(LDError):
+    """A list identifier does not name an allocated list."""
+
+    def __init__(self, lid: int) -> None:
+        super().__init__(f"no such block list: {lid}")
+        self.lid = lid
+
+
+class OutOfSpaceError(LDError):
+    """The disk cannot hold the requested data.
+
+    The paper adds explicit reservation primitives precisely because most
+    UNIX file systems cannot handle writes failing for lack of space; an LD
+    raises this error eagerly at allocation/reservation time instead.
+    """
+
+
+class ARUError(LDError):
+    """Misuse of atomic recovery units (e.g. EndARU without BeginARU)."""
+
+
+class ReservationError(LDError):
+    """Misuse of the space-reservation primitives."""

@@ -1,0 +1,46 @@
+"""Hint types and sentinels for the LD interface.
+
+``LIST_HEAD`` is the paper's "special value to specify insertion at the
+beginning of the list and list of lists, respectively" (Table 1 caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pass as ``pred_bid`` / ``pred_lid`` to insert at the front of a list
+#: (or of the list of lists).
+LIST_HEAD = -1
+
+
+@dataclass(frozen=True)
+class ListHints:
+    """Placement hints attached to a list at creation (``NewList``).
+
+    Attributes:
+        cluster: physically cluster the blocks of this list in list order.
+        compress: transparently compress blocks written to this list.
+        interlist_cluster: place this list near its predecessor in the
+            list of lists.
+    """
+
+    cluster: bool = True
+    compress: bool = False
+    interlist_cluster: bool = True
+
+    def pack(self) -> int:
+        """Encode to one byte for segment-summary logging."""
+        return (
+            (1 if self.cluster else 0)
+            | (2 if self.compress else 0)
+            | (4 if self.interlist_cluster else 0)
+        )
+
+    @classmethod
+    def unpack(cls, value: int) -> "ListHints":
+        """Decode from the byte produced by :meth:`pack`."""
+        return cls(
+            cluster=bool(value & 1),
+            compress=bool(value & 2),
+            interlist_cluster=bool(value & 4),
+        )

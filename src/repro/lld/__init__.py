@@ -1,0 +1,32 @@
+"""LLD: the log-structured implementation of the Logical Disk (paper §3).
+
+LLD divides the disk into fixed-size segments, each with a *segment summary*
+that serves as a log of LD metadata: for every physical block the summary
+records its logical number, timestamp, length and compression flag, and list
+modifications are logged as *link tuples* (timestamp, block number, new
+successor value). The block-number map, list table, and segment usage table
+live in main memory; recovery rebuilds them in a single sweep over the
+segment summaries (no checkpoints during normal operation).
+
+Implementation notes relative to the paper:
+
+* Atomic recovery units are identified by an ARU id and committed with an
+  explicit COMMIT record rather than the paper's per-record "ends ARU" bit.
+  This is semantically equivalent for the paper's serial ARUs and also
+  supports the concurrent-ARU extension listed in paper §5.4.
+* The list of lists is kept in main memory only, as in the paper's own
+  prototype ("our current implementation ... does not keep the list of
+  lists", §3.4).
+* Tombstone records (``BLOCK_DEAD``/``LIST_DEAD``) make deletions crash-safe
+  under last-writer-wins replay; the cleaner re-logs live metadata whose
+  latest tuple lives in the segment being cleaned, which is the mechanism
+  behind the paper's "LLD also removes old logging information ... during
+  cleaning" (§3.5).
+"""
+
+from repro.lld.config import LLDConfig
+from repro.lld.lld import LLD
+from repro.lld.nvram import NVRAM
+from repro.lld.recovery import RecoveryReport
+
+__all__ = ["LLD", "LLDConfig", "NVRAM", "RecoveryReport"]

@@ -1,0 +1,308 @@
+"""Segment cleaning (paper section 3.5).
+
+The cleaner evacuates live blocks from mostly-dead segments into the open
+segment, re-logs any metadata tuples whose latest copy lives in the cleaned
+segment, and thereby produces empty segments. Two victim-selection policies
+from Rosenblum & Ousterhout are provided:
+
+* ``greedy`` — fewest live bytes first;
+* ``cost_benefit`` — maximize ``(1 - u) * age / (1 + u)`` where ``u`` is
+  utilization, so cold, fairly empty segments win over hot ones.
+
+While copying, blocks are re-ordered along their list chains (the paper's
+"uses the list information to reorder the blocks to improve sequential read
+performance").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.ld.errors import OutOfSpaceError
+from repro.lld.state import NO_SEGMENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lld.lld import LLD
+
+
+class Cleaner:
+    """Produces empty segments for an :class:`~repro.lld.lld.LLD`."""
+
+    def __init__(self, lld: "LLD") -> None:
+        self.lld = lld
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+
+    def candidate_segments(self) -> list[int]:
+        """Sealed segments with live data that are safe to clean now."""
+        lld = self.lld
+        open_index = lld.open_segment_index
+        excluded = lld.aru_excluded_segments()
+        return [
+            slot
+            for slot in range(lld.layout.segment_count)
+            if slot != open_index
+            and slot not in excluded
+            and lld.state.usage.get(slot, 0) > 0
+        ]
+
+    def select_victim(self) -> int | None:
+        """Pick the next segment to clean under the configured policy."""
+        candidates = self.candidate_segments()
+        if not candidates:
+            return None
+        lld = self.lld
+        usage = lld.state.usage
+        if lld.config.clean_policy == "greedy":
+            return min(candidates, key=lambda slot: (usage.get(slot, 0), slot))
+        # cost_benefit
+        capacity = lld.config.data_capacity
+        now = lld.state.next_ts
+
+        def benefit(slot: int) -> float:
+            u = min(1.0, usage.get(slot, 0) / capacity)
+            age = now - lld.state.segment_mod_ts.get(slot, 0)
+            return (1.0 - u) * age / (1.0 + u)
+
+        return max(candidates, key=lambda slot: (benefit(slot), -slot))
+
+    # ------------------------------------------------------------------
+    # Cleaning
+    # ------------------------------------------------------------------
+
+    def ensure_free(self, target: int) -> int:
+        """Clean until at least ``target`` segments are free."""
+        lld = self.lld
+        cleaned = 0
+        guard = 4 * lld.layout.segment_count
+        stalled = 0
+        best_free = lld.free_segment_count()
+        while lld.free_segment_count() < target:
+            if guard <= 0 or stalled > lld.layout.segment_count:
+                raise OutOfSpaceError(
+                    "cleaner cannot produce enough free segments "
+                    f"(live bytes: {lld.state.live_bytes()})"
+                )
+            guard -= 1
+            victim = self.select_victim()
+            if victim is None:
+                raise OutOfSpaceError("no cleanable segments available")
+            self.clean_segment(victim)
+            cleaned += 1
+            free_now = lld.free_segment_count()
+            if free_now > best_free:
+                best_free = free_now
+                stalled = 0
+            else:
+                stalled += 1
+        return cleaned
+
+    def clean_segments(self, count: int) -> int:
+        """Clean up to ``count`` victims; returns how many were cleaned."""
+        cleaned = 0
+        for _ in range(count):
+            victim = self.select_victim()
+            if victim is None:
+                break
+            self.clean_segment(victim)
+            cleaned += 1
+        return cleaned
+
+    def clean_segment(self, slot: int) -> None:
+        """Evacuate every live block and metadata tuple from ``slot``."""
+        lld = self.lld
+        if slot == lld.open_segment_index:
+            raise ValueError("cannot clean the open segment")
+        lld._cleaning = True
+        lld.stats.cleanings += 1
+        try:
+            data = self._read_data_area(slot)
+            for bid in self._clustered_order(slot):
+                entry = lld.state.blocks.get(bid)
+                if entry is None or entry.segment != slot:
+                    continue  # moved or died while we were copying
+                raw = data[entry.offset : entry.offset + entry.stored_length]
+                lld._append_block(
+                    bid,
+                    bytes(raw),
+                    entry.length,
+                    entry.compressed,
+                    cleaner=True,
+                )
+                lld.stats.blocks_cleaned += 1
+            # Metadata tuples and tombstones homed here must move too;
+            # this is the paper's "removes old logging information ...
+            # during cleaning".
+            lld._relog_slot(slot)
+            # The stale summary becomes garbage once the re-logged records
+            # are durable; queue it for invalidation at the next segment
+            # write so the global minimum summary timestamp keeps rising.
+            lld._pending_scrubs.add(slot)
+        finally:
+            lld._cleaning = False
+
+    # ------------------------------------------------------------------
+    # Tombstone compaction
+    # ------------------------------------------------------------------
+
+    def drop_dead_tombstones(self) -> int:
+        """Forget tombstones no surviving summary could contradict.
+
+        A tombstone is droppable once the oldest record timestamp across
+        all valid on-disk summaries is at or above its death timestamp —
+        then no stale record for the dead key can exist anywhere.
+        """
+        state = self.lld.state
+        min_ts = state.min_summary_timestamp()
+        dropped = 0
+        for key, tomb in list(state.tombstones.items()):
+            if min_ts is None or min_ts >= tomb.death_timestamp:
+                state.drop_tombstone(key)
+                dropped += 1
+        self.lld.stats.tombstones_dropped += dropped
+        return dropped
+
+    def compact_tombstones(self, target_count: int, deep: bool = False) -> int:
+        """Retire tombstones by rewriting the oldest summaries.
+
+        The global minimum summary timestamp is what pins tombstones in
+        memory. This pass raises it by *scrubbing* the oldest free slots
+        (re-log homed metadata, then overwrite the stale summary). It
+        stops as soon as further scrubbing cannot retire anything — i.e.
+        when the oldest remaining summary belongs to a live segment. With
+        ``deep=True`` those live segments are cleaned first (expensive;
+        used when the tombstone table grows far past its target).
+        Returns the number of tombstones dropped.
+        """
+        lld = self.lld
+        state = lld.state
+        dropped = self.drop_dead_tombstones()
+        need_to_retire = len(state.tombstones) - target_count
+        if need_to_retire <= 0:
+            return dropped
+
+        # Phase 1: pick scrub targets, oldest summaries first, until the
+        # projected post-scrub minimum would retire enough tombstones.
+        scrub_set: set[int] = set()
+        relogged_any = False
+        guard = 2 * lld.layout.segment_count
+        while guard > 0:
+            guard -= 1
+            slot = self._oldest_summary_slot(exclude=scrub_set)
+            if slot is None:
+                break
+            if state.usage.get(slot, 0) > 0:
+                if not deep:
+                    break  # only live segments remain: scrubbing is done
+                self.clean_segment(slot)
+                relogged_any = True
+            elif state.slot_holds_metadata(slot):
+                lld._relog_slot(slot)
+                relogged_any = True
+            scrub_set.add(slot)
+            projected_min = state.min_summary_timestamp(exclude=scrub_set)
+            retirable = sum(
+                1
+                for tomb in state.tombstones.values()
+                if projected_min is None or projected_min >= tomb.death_timestamp
+            )
+            if retirable >= need_to_retire:
+                break
+        if not scrub_set:
+            return dropped
+
+        # Phase 2: one durability point covers every re-logged record,
+        # then the stale summaries can be destroyed. Tombstones are only
+        # dropped after their guarded summaries are really gone, so a
+        # crash anywhere in between stays recoverable.
+        if relogged_any:
+            lld.flush()
+        from repro.lld.segment import serialize_summary
+
+        empty = serialize_summary([], lld.config.summary_capacity)
+        for slot in sorted(scrub_set):
+            if slot != lld.open_segment_index and state.usage.get(slot, 0) <= 0:
+                lld.disk.write(lld.layout.slot_lba(slot), empty)
+                state.summary_min_ts.pop(slot, None)
+        dropped += self.drop_dead_tombstones()
+        return dropped
+
+    def _oldest_summary_slot(self, exclude: set[int] | None = None) -> int | None:
+        """Slot with the oldest valid summary (excluding the open one)."""
+        lld = self.lld
+        open_index = lld.open_segment_index
+        excluded = set(exclude or ())
+        excluded |= lld.aru_excluded_segments()
+        candidates = [
+            (ts, slot)
+            for slot, ts in lld.state.summary_min_ts.items()
+            if slot != open_index and slot not in excluded
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def scrub_slot(self, slot: int) -> None:
+        """Invalidate the stale summary of a *free* slot.
+
+        Any metadata or tombstones still homed in the slot are re-logged
+        and flushed first, so the on-disk invalidation never destroys the
+        last copy of anything.
+        """
+        lld = self.lld
+        state = lld.state
+        if slot == lld.open_segment_index:
+            raise ValueError("cannot scrub the open segment")
+        if state.usage.get(slot, 0) > 0:
+            raise ValueError(f"segment {slot} still holds live data")
+        has_homed = state.slot_holds_metadata(slot)
+        if has_homed:
+            lld._relog_slot(slot)
+            lld.flush()
+        from repro.lld.segment import serialize_summary
+
+        image = serialize_summary([], lld.config.summary_capacity)
+        lld.disk.write(lld.layout.slot_lba(slot), image)
+        state.summary_min_ts.pop(slot, None)
+
+    def _read_data_area(self, slot: int) -> bytes:
+        """One long read of the victim's data area (realistic cleaner I/O)."""
+        lld = self.lld
+        config = lld.config
+        lba = lld.layout.slot_lba(slot) + config.summary_sectors
+        nsectors = config.sectors_per_segment - config.summary_sectors
+        return lld.disk.read(lba, nsectors)
+
+    def _clustered_order(self, slot: int) -> list[int]:
+        """Live blocks of ``slot``, ordered along their list chains.
+
+        Chains are followed only within the victim segment: a block whose
+        predecessor also lives in the segment is emitted right after it,
+        which preserves sequential-read locality after the copy.
+        """
+        lld = self.lld
+        live = set(lld.state.segment_blocks.get(slot, set()))
+        if not live:
+            return []
+        has_in_segment_predecessor = set()
+        for bid in live:
+            entry = lld.state.blocks.get(bid)
+            if entry is not None and entry.successor in live:
+                has_in_segment_predecessor.add(entry.successor)
+        heads = sorted(live - has_in_segment_predecessor)
+        ordered: list[int] = []
+        seen: set[int] = set()
+        for head in heads:
+            bid: int | None = head
+            while bid is not None and bid in live and bid not in seen:
+                ordered.append(bid)
+                seen.add(bid)
+                entry = lld.state.blocks.get(bid)
+                bid = entry.successor if entry is not None else None
+        # Any stragglers (cycles among themselves cannot happen in a
+        # well-formed list, but stay defensive).
+        for bid in sorted(live - seen):
+            ordered.append(bid)
+        return ordered

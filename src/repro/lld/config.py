@@ -1,0 +1,100 @@
+"""Configuration for the log-structured LD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+SECTOR = 512
+
+#: Cleaning policies understood by :mod:`repro.lld.cleaner`.
+CLEAN_POLICIES = ("greedy", "cost_benefit")
+
+
+@dataclass(frozen=True)
+class LLDConfig:
+    """Tunables of LLD.
+
+    Defaults follow the paper's measured configuration: 512 KB segments,
+    4 KB (maximum) blocks, a one-block segment summary, and a 75%
+    partial-segment threshold (paper §3.2's example value).
+
+    Attributes:
+        segment_size: bytes per on-disk segment slot.
+        summary_capacity: bytes reserved at the start of each slot for the
+            segment summary (fixed location — required by one-sweep
+            recovery, paper §3.2). 0 selects ``max(4 KB, segment/32)``.
+        block_size: maximum logical block size.
+        partial_threshold: fill fraction at or above which a ``Flush``
+            seals the segment instead of writing it partially.
+        checkpoint_slots: segment-sized slots reserved at the front of the
+            disk for the clean-shutdown state image.
+        min_free_segments: cleaner target — keep at least this many empty
+            segments available.
+        clean_policy: ``"greedy"`` (fewest live bytes first) or
+            ``"cost_benefit"`` (Sprite LFS's age-weighted benefit/cost).
+        lists_enabled: when False, list maintenance is skipped entirely
+            (blocks live on degenerate single-block chains); used by the
+            paper's §4.2 list-overhead experiment.
+        compression_enabled: honour per-list compression hints.
+        model_compression_cost: charge compressor CPU time to the clock.
+        max_tombstones: deletion tombstones held in memory before the
+            cleaner compacts old summaries to retire them (see
+            :meth:`repro.lld.cleaner.Cleaner.compact_tombstones`). A
+            tombstone costs ~50 bytes, so the default bounds the table at
+            a couple hundred KB; bulk deletes run without compaction.
+    """
+
+    segment_size: int = 512 * 1024
+    summary_capacity: int = 0  # 0 = auto: max(4096, segment_size / 32)
+    block_size: int = 4096
+    partial_threshold: float = 0.75
+    checkpoint_slots: int = 2
+    min_free_segments: int = 2
+    clean_policy: str = "greedy"
+    lists_enabled: bool = True
+    compression_enabled: bool = True
+    model_compression_cost: bool = True
+    max_tombstones: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.segment_size % SECTOR != 0:
+            raise ValueError(f"segment_size must be sector-aligned: {self.segment_size}")
+        if self.summary_capacity == 0:
+            # The paper packs ~128 block entries plus link tuples into one
+            # 4 KB summary block with 7-12 byte tuples; our records are a
+            # few times larger (explicit struct fields), so the summary
+            # scales with the segment to hold a full segment's worth of
+            # compressed blocks (see DESIGN.md, Substitutions).
+            object.__setattr__(
+                self, "summary_capacity", max(4096, self.segment_size // 32)
+            )
+        if self.summary_capacity % SECTOR != 0:
+            raise ValueError(
+                f"summary_capacity must be sector-aligned: {self.summary_capacity}"
+            )
+        if self.summary_capacity >= self.segment_size:
+            raise ValueError("summary must be smaller than the segment")
+        if self.block_size > self.data_capacity:
+            raise ValueError(
+                f"block_size {self.block_size} exceeds segment data capacity "
+                f"{self.data_capacity}"
+            )
+        if not 0.0 < self.partial_threshold <= 1.0:
+            raise ValueError(f"partial_threshold out of (0,1]: {self.partial_threshold}")
+        if self.clean_policy not in CLEAN_POLICIES:
+            raise ValueError(f"unknown clean_policy {self.clean_policy!r}")
+        if self.checkpoint_slots < 1:
+            raise ValueError("need at least one checkpoint slot")
+
+    @property
+    def data_capacity(self) -> int:
+        """Bytes of block data each segment can hold."""
+        return self.segment_size - self.summary_capacity
+
+    @property
+    def sectors_per_segment(self) -> int:
+        return self.segment_size // SECTOR
+
+    @property
+    def summary_sectors(self) -> int:
+        return self.summary_capacity // SECTOR

@@ -1,0 +1,249 @@
+"""Segment-summary records: the on-disk metadata log of LLD.
+
+Every record carries a logical timestamp (a monotonically increasing
+operation counter — the paper's "timestamp") and the id of the atomic
+recovery unit it belongs to (0 = not part of an explicit ARU). Records
+express *absolute* state, exactly like the paper's link tuples ("a
+timestamp, a block number, and the new value for the successor field"), so
+recovery is last-writer-wins per key:
+
+=============  =========================================================
+``LINK``       new successor value for a block (also implies existence)
+``BLOCK``      new physical location/length of a block's data
+``BLOCK_DEAD`` tombstone: the block number was freed
+``LIST_FIRST`` new head block of a list (also implies existence)
+``LIST_META``  list exists, with its clustering/compression hints
+``LIST_DEAD``  tombstone: the list was freed
+``COMMIT``     an explicit ARU committed (paper's EndARU tag)
+=============  =========================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+#: Wire encoding of "no block/list" in id fields.
+NONE_ID = 0xFFFFFFFF
+
+_HEADER = struct.Struct("<BBIQ")  # type, flags, aru, timestamp
+
+TYPE_LINK = 1
+TYPE_BLOCK = 2
+TYPE_BLOCK_DEAD = 3
+TYPE_LIST_FIRST = 4
+TYPE_LIST_META = 5
+TYPE_LIST_DEAD = 6
+TYPE_COMMIT = 7
+
+FLAG_COMPRESSED = 0x01
+FLAG_CLEANER = 0x02  # written by the cleaner/reorganizer, not the file system
+
+
+def _enc(value: int | None) -> int:
+    return NONE_ID if value is None else value
+
+
+def _dec(value: int) -> int | None:
+    return None if value == NONE_ID else value
+
+
+@dataclass
+class Record:
+    """Base record; concrete types define ``TYPE`` and payload packing."""
+
+    timestamp: int = 0
+    aru: int = 0
+    flags: int = 0
+
+    TYPE = 0
+    _PAYLOAD = struct.Struct("<")
+
+    def _payload_values(self) -> tuple:
+        return ()
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "Record":
+        return cls()
+
+    def pack(self) -> bytes:
+        head = _HEADER.pack(self.TYPE, self.flags, self.aru, self.timestamp)
+        return head + self._PAYLOAD.pack(*self._payload_values())
+
+    @property
+    def packed_size(self) -> int:
+        return _HEADER.size + self._PAYLOAD.size
+
+
+@dataclass
+class LinkRecord(Record):
+    """Link tuple: block ``bid`` now has successor ``successor``."""
+
+    bid: int = 0
+    successor: int | None = None
+
+    TYPE = TYPE_LINK
+    _PAYLOAD = struct.Struct("<II")
+
+    def _payload_values(self) -> tuple:
+        return (self.bid, _enc(self.successor))
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "LinkRecord":
+        return cls(bid=values[0], successor=_dec(values[1]))
+
+
+@dataclass
+class BlockRecord(Record):
+    """Block data written: ``bid`` lives at (``segment``, ``offset``)."""
+
+    bid: int = 0
+    segment: int = 0
+    offset: int = 0
+    stored_length: int = 0
+    length: int = 0
+
+    TYPE = TYPE_BLOCK
+    _PAYLOAD = struct.Struct("<IIIII")
+
+    def _payload_values(self) -> tuple:
+        return (self.bid, self.segment, self.offset, self.stored_length, self.length)
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "BlockRecord":
+        return cls(
+            bid=values[0],
+            segment=values[1],
+            offset=values[2],
+            stored_length=values[3],
+            length=values[4],
+        )
+
+    @property
+    def compressed(self) -> bool:
+        return bool(self.flags & FLAG_COMPRESSED)
+
+
+@dataclass
+class BlockDeadRecord(Record):
+    """Tombstone: block number ``bid`` was freed at ``death_timestamp``.
+
+    ``death_timestamp`` survives cleaner re-logging so the tombstone-drop
+    rule (no summary may still hold records older than the death) stays
+    anchored to the original deletion.
+    """
+
+    bid: int = 0
+    death_timestamp: int = 0
+
+    TYPE = TYPE_BLOCK_DEAD
+    _PAYLOAD = struct.Struct("<IQ")
+
+    def _payload_values(self) -> tuple:
+        return (self.bid, self.death_timestamp)
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "BlockDeadRecord":
+        return cls(bid=values[0], death_timestamp=values[1])
+
+
+@dataclass
+class ListFirstRecord(Record):
+    """List ``lid`` now starts at block ``first``."""
+
+    lid: int = 0
+    first: int | None = None
+
+    TYPE = TYPE_LIST_FIRST
+    _PAYLOAD = struct.Struct("<II")
+
+    def _payload_values(self) -> tuple:
+        return (self.lid, _enc(self.first))
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "ListFirstRecord":
+        return cls(lid=values[0], first=_dec(values[1]))
+
+
+@dataclass
+class ListMetaRecord(Record):
+    """List ``lid`` exists with packed hints ``hints``."""
+
+    lid: int = 0
+    hints: int = 0
+
+    TYPE = TYPE_LIST_META
+    _PAYLOAD = struct.Struct("<IB")
+
+    def _payload_values(self) -> tuple:
+        return (self.lid, self.hints)
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "ListMetaRecord":
+        return cls(lid=values[0], hints=values[1])
+
+
+@dataclass
+class ListDeadRecord(Record):
+    """Tombstone: list ``lid`` was freed at ``death_timestamp``."""
+
+    lid: int = 0
+    death_timestamp: int = 0
+
+    TYPE = TYPE_LIST_DEAD
+    _PAYLOAD = struct.Struct("<IQ")
+
+    def _payload_values(self) -> tuple:
+        return (self.lid, self.death_timestamp)
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "ListDeadRecord":
+        return cls(lid=values[0], death_timestamp=values[1])
+
+
+@dataclass
+class CommitRecord(Record):
+    """Explicit ARU ``aru`` committed (the paper's EndARU marker)."""
+
+    TYPE = TYPE_COMMIT
+    _PAYLOAD = struct.Struct("<")
+
+    def _payload_values(self) -> tuple:
+        return ()
+
+    @classmethod
+    def _from_payload(cls, values: tuple) -> "CommitRecord":
+        return cls()
+
+
+_RECORD_TYPES: dict[int, type[Record]] = {
+    cls.TYPE: cls
+    for cls in (
+        LinkRecord,
+        BlockRecord,
+        BlockDeadRecord,
+        ListFirstRecord,
+        ListMetaRecord,
+        ListDeadRecord,
+        CommitRecord,
+    )
+}
+
+
+def unpack_record(buf: bytes, offset: int) -> tuple[Record, int]:
+    """Decode one record at ``offset``; returns (record, next offset)."""
+    if offset + _HEADER.size > len(buf):
+        raise ValueError("truncated record header")
+    rtype, flags, aru, timestamp = _HEADER.unpack_from(buf, offset)
+    cls = _RECORD_TYPES.get(rtype)
+    if cls is None:
+        raise ValueError(f"unknown record type {rtype}")
+    offset += _HEADER.size
+    payload = cls._PAYLOAD
+    if offset + payload.size > len(buf):
+        raise ValueError("truncated record payload")
+    record = cls._from_payload(payload.unpack_from(buf, offset))
+    record.flags = flags
+    record.aru = aru
+    record.timestamp = timestamp
+    return record, offset + payload.size

@@ -1,0 +1,177 @@
+"""Segments: on-disk layout and the in-memory segment being filled.
+
+Each segment slot on disk holds its summary at a fixed offset (the start of
+the slot), followed by the data area. Fixed summary locations are what make
+one-sweep recovery possible (paper §3.2): recovery reads
+``summary_capacity`` bytes per slot and nothing else.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.disk.disk import SimulatedDisk
+from repro.lld.config import SECTOR, LLDConfig
+from repro.lld.records import Record, unpack_record
+
+SUMMARY_MAGIC = b"LDS1"
+_SUMMARY_HEADER = struct.Struct("<4sIII")  # magic, nrecords, body_len, crc32
+
+
+def serialize_summary(records: list[Record], capacity: int) -> bytes:
+    """Pack records into a summary image of exactly ``capacity`` bytes."""
+    body = b"".join(record.pack() for record in records)
+    header = _SUMMARY_HEADER.pack(
+        SUMMARY_MAGIC, len(records), len(body), zlib.crc32(body)
+    )
+    image = header + body
+    if len(image) > capacity:
+        raise ValueError(
+            f"summary of {len(image)} bytes exceeds capacity {capacity}"
+        )
+    return image + b"\x00" * (capacity - len(image))
+
+
+def parse_summary(image: bytes) -> list[Record] | None:
+    """Decode a summary image; returns None for invalid/foreign bytes.
+
+    Invalid means: bad magic, truncated body, or checksum mismatch — the
+    cases recovery must tolerate (never-written slots, torn writes).
+    """
+    if len(image) < _SUMMARY_HEADER.size:
+        return None
+    magic, nrecords, body_len, crc = _SUMMARY_HEADER.unpack_from(image, 0)
+    if magic != SUMMARY_MAGIC:
+        return None
+    start = _SUMMARY_HEADER.size
+    if start + body_len > len(image):
+        return None
+    body = image[start : start + body_len]
+    if zlib.crc32(body) != crc:
+        return None
+    records: list[Record] = []
+    offset = 0
+    try:
+        for _ in range(nrecords):
+            record, offset = unpack_record(body, offset)
+            records.append(record)
+    except ValueError:
+        return None
+    if offset != body_len:
+        return None
+    return records
+
+
+class DiskLayout:
+    """Maps segment slots and block locations to disk LBAs."""
+
+    def __init__(self, disk: SimulatedDisk, config: LLDConfig) -> None:
+        self.config = config
+        checkpoint_sectors = config.checkpoint_slots * config.sectors_per_segment
+        self.checkpoint_lba = 0
+        self.checkpoint_sectors = checkpoint_sectors
+        self.data_start_lba = checkpoint_sectors
+        available = disk.geometry.total_sectors - checkpoint_sectors
+        self.segment_count = available // config.sectors_per_segment
+        if self.segment_count < 4:
+            raise ValueError(
+                f"disk too small: only {self.segment_count} segment slots "
+                f"(need at least 4)"
+            )
+
+    def slot_lba(self, segment: int) -> int:
+        """First LBA of segment slot ``segment``."""
+        if not 0 <= segment < self.segment_count:
+            raise ValueError(f"segment {segment} out of range [0, {self.segment_count})")
+        return self.data_start_lba + segment * self.config.sectors_per_segment
+
+    def block_extent(self, segment: int, offset: int, length: int) -> tuple[int, int, int]:
+        """Sector range covering ``length`` bytes at data ``offset`` in a slot.
+
+        Returns ``(lba, nsectors, byte_skew)``: read ``nsectors`` from
+        ``lba`` and slice at ``byte_skew``. Blocks are packed at arbitrary
+        byte offsets (variable-sized to support compression, paper Figure
+        2), so small blocks may be misaligned — reading them still costs
+        whole sectors, which reproduces the paper's i-node read penalty.
+        """
+        byte_pos = self.slot_lba(segment) * SECTOR + self.config.summary_capacity + offset
+        lba = byte_pos // SECTOR
+        skew = byte_pos % SECTOR
+        nsectors = (skew + length + SECTOR - 1) // SECTOR
+        return lba, max(1, nsectors), skew
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total block-data capacity across all segments."""
+        return self.segment_count * self.config.data_capacity
+
+
+class OpenSegment:
+    """The segment currently being filled in main memory."""
+
+    def __init__(self, index: int, config: LLDConfig) -> None:
+        self.index = index
+        self.config = config
+        self.data = bytearray(config.data_capacity)
+        self.used = 0
+        self.records: list[Record] = []
+        # Summary bytes already committed to records (plus header).
+        self.summary_used = _SUMMARY_HEADER.size
+        self.partial_writes = 0
+
+    def fits(self, data_len: int, record_bytes: int) -> bool:
+        """Can ``data_len`` data bytes plus ``record_bytes`` of records fit?"""
+        return (
+            self.used + data_len <= self.config.data_capacity
+            and self.summary_used + record_bytes <= self.config.summary_capacity
+        )
+
+    def append_data(self, data: bytes) -> int:
+        """Copy block data into the segment; returns its data offset."""
+        if self.used + len(data) > self.config.data_capacity:
+            raise ValueError("segment data area overflow")
+        offset = self.used
+        self.data[offset : offset + len(data)] = data
+        self.used += len(data)
+        return offset
+
+    def append_record(self, record: Record) -> None:
+        """Log a record into the summary."""
+        size = record.packed_size
+        if self.summary_used + size > self.config.summary_capacity:
+            raise ValueError("segment summary overflow")
+        self.records.append(record)
+        self.summary_used += size
+
+    def read_data(self, offset: int, length: int) -> bytes:
+        """Serve a block from the in-memory copy (no disk access)."""
+        if offset + length > self.used:
+            raise ValueError("read beyond filled portion of open segment")
+        return bytes(self.data[offset : offset + length])
+
+    @property
+    def fill_fraction(self) -> float:
+        """Data-area fill level, the partial-segment threshold input."""
+        return self.used / self.config.data_capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self.used == 0 and not self.records
+
+    def image(self) -> bytes:
+        """Serialize summary + used data, padded to whole sectors.
+
+        This is the single contiguous write LLD issues per segment
+        (full or partial).
+        """
+        summary = serialize_summary(self.records, self.config.summary_capacity)
+        payload = summary + bytes(self.data[: self.used])
+        pad = (-len(payload)) % SECTOR
+        return payload + b"\x00" * pad
+
+    def min_timestamp(self) -> int | None:
+        """Oldest record timestamp in the summary (None when empty)."""
+        if not self.records:
+            return None
+        return min(record.timestamp for record in self.records)

@@ -1,0 +1,357 @@
+"""LLD's main-memory data structures and the single record-application path.
+
+The block-number map, list table, and segment usage table of paper Figure 2
+live here. Both normal operation and crash recovery mutate state exclusively
+through :meth:`LLDState.apply`, so the state reached by replaying the
+summaries is the state normal operation maintained — recovery correctness by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ld.errors import NoSuchBlockError, NoSuchListError
+from repro.ld.hints import ListHints
+from repro.lld.records import (
+    BlockDeadRecord,
+    BlockRecord,
+    CommitRecord,
+    LinkRecord,
+    ListDeadRecord,
+    ListFirstRecord,
+    ListMetaRecord,
+    Record,
+)
+
+#: Sentinel for "block has no physical location yet".
+NO_SEGMENT = -1
+
+# Key kinds for metadata "homes" (which segment summary holds the latest
+# tuple for this piece of metadata). The cleaner re-logs these.
+KIND_LINK = "link"
+KIND_FIRST = "first"
+KIND_META = "meta"
+
+
+@dataclass
+class BlockEntry:
+    """One row of the block-number map (paper Figure 2).
+
+    ``segment``/``offset`` locate the stored bytes; ``stored_length`` is the
+    on-disk size (after compression), ``length`` the logical size;
+    ``successor`` is the next block on the block's list. ``compress_writes``
+    is the in-memory flag derived from the owning list's hints.
+    """
+
+    segment: int = NO_SEGMENT
+    offset: int = 0
+    stored_length: int = 0
+    length: int = 0
+    compressed: bool = False
+    successor: int | None = None
+    compress_writes: bool = False
+
+
+@dataclass
+class ListEntry:
+    """One row of the list table: head pointer plus creation hints."""
+
+    first: int | None = None
+    hints: ListHints = field(default_factory=ListHints)
+
+
+@dataclass
+class Tombstone:
+    """Remembers a deletion until no stale records can survive anywhere."""
+
+    kind: str  # "block" or "list"
+    ident: int
+    death_timestamp: int
+    home_segment: int
+
+
+class LLDState:
+    """Block-number map + list table + usage table + log bookkeeping."""
+
+    def __init__(self) -> None:
+        self.blocks: dict[int, BlockEntry] = {}
+        self.lists: dict[int, ListEntry] = {}
+        # The list of lists is memory-only (as in the paper's prototype);
+        # it orders lists for inter-list clustering.
+        self.list_order: list[int] = []
+
+        self.usage: dict[int, int] = {}  # segment -> live data bytes
+        self.segment_blocks: dict[int, set[int]] = {}  # segment -> live bids
+
+        # Metadata homes: (kind, id) -> segment whose summary holds the
+        # latest tuple; reverse index segment -> keys.
+        self.homes: dict[tuple[str, int], int] = {}
+        self.segment_keys: dict[int, set[tuple[str, int]]] = {}
+
+        self.tombstones: dict[tuple[str, int], Tombstone] = {}
+        # Reverse index: segment -> tombstone keys homed in its summary.
+        self.tombstone_homes: dict[int, set[tuple[str, int]]] = {}
+        # Minimum record timestamp of each valid on-disk summary.
+        self.summary_min_ts: dict[int, int] = {}
+        # Latest write timestamp per segment (cost-benefit cleaning "age").
+        self.segment_mod_ts: dict[int, int] = {}
+
+        self.next_bid = 1
+        self.next_lid = 1
+        self.next_ts = 1
+
+    # ------------------------------------------------------------------
+    # Record application (the only mutation path)
+    # ------------------------------------------------------------------
+
+    def apply(self, record: Record, home_segment: int) -> None:
+        """Apply one log record; ``home_segment`` is the summary it lives in."""
+        self.next_ts = max(self.next_ts, record.timestamp + 1)
+        if isinstance(record, LinkRecord):
+            self._apply_link(record, home_segment)
+        elif isinstance(record, BlockRecord):
+            self._apply_block(record)
+        elif isinstance(record, BlockDeadRecord):
+            self._apply_block_dead(record, home_segment)
+        elif isinstance(record, ListFirstRecord):
+            self._apply_list_first(record, home_segment)
+        elif isinstance(record, ListMetaRecord):
+            self._apply_list_meta(record, home_segment)
+        elif isinstance(record, ListDeadRecord):
+            self._apply_list_dead(record, home_segment)
+        elif isinstance(record, CommitRecord):
+            pass  # consumed by the recovery filter, no state change
+        else:  # pragma: no cover - registry and state must stay in sync
+            raise TypeError(f"unhandled record type: {type(record).__name__}")
+
+    def _ensure_block(self, bid: int) -> BlockEntry:
+        entry = self.blocks.get(bid)
+        if entry is None:
+            entry = BlockEntry()
+            self.blocks[bid] = entry
+            self.next_bid = max(self.next_bid, bid + 1)
+            self.drop_tombstone(("block", bid))
+        return entry
+
+    def _ensure_list(self, lid: int) -> ListEntry:
+        entry = self.lists.get(lid)
+        if entry is None:
+            entry = ListEntry()
+            self.lists[lid] = entry
+            self.list_order.append(lid)
+            self.next_lid = max(self.next_lid, lid + 1)
+            self.drop_tombstone(("list", lid))
+        return entry
+
+    # ------------------------------------------------------------------
+    # Tombstone bookkeeping
+    # ------------------------------------------------------------------
+
+    def put_tombstone(self, tomb: Tombstone) -> None:
+        """Insert or re-home a tombstone, keeping the reverse index."""
+        key = (tomb.kind, tomb.ident)
+        old = self.tombstones.get(key)
+        if old is not None:
+            homed = self.tombstone_homes.get(old.home_segment)
+            if homed is not None:
+                homed.discard(key)
+        self.tombstones[key] = tomb
+        self.tombstone_homes.setdefault(tomb.home_segment, set()).add(key)
+
+    def drop_tombstone(self, key: tuple[str, int]) -> Tombstone | None:
+        """Forget a tombstone (retired, or its key came back to life)."""
+        tomb = self.tombstones.pop(key, None)
+        if tomb is not None:
+            homed = self.tombstone_homes.get(tomb.home_segment)
+            if homed is not None:
+                homed.discard(key)
+        return tomb
+
+    def tombstones_homed_in(self, segment: int) -> list[Tombstone]:
+        """Tombstones whose latest on-disk record lives in ``segment``."""
+        keys = self.tombstone_homes.get(segment, set())
+        return [self.tombstones[key] for key in sorted(keys)]
+
+    def slot_holds_metadata(self, segment: int) -> bool:
+        """True if the slot's on-disk summary holds any *live* metadata.
+
+        Such a slot must not be recycled without re-logging; slots whose
+        summaries are pure-stale can be overwritten freely.
+        """
+        if self.segment_keys.get(segment):
+            return True
+        return bool(self.tombstone_homes.get(segment))
+
+    def _set_home(self, key: tuple[str, int], segment: int) -> None:
+        old = self.homes.get(key)
+        if old is not None and old != segment:
+            keys = self.segment_keys.get(old)
+            if keys is not None:
+                keys.discard(key)
+        self.homes[key] = segment
+        self.segment_keys.setdefault(segment, set()).add(key)
+
+    def _drop_home(self, key: tuple[str, int]) -> None:
+        segment = self.homes.pop(key, None)
+        if segment is not None:
+            keys = self.segment_keys.get(segment)
+            if keys is not None:
+                keys.discard(key)
+
+    def _apply_link(self, record: LinkRecord, home_segment: int) -> None:
+        entry = self._ensure_block(record.bid)
+        entry.successor = record.successor
+        self._set_home((KIND_LINK, record.bid), home_segment)
+
+    def _apply_block(self, record: BlockRecord) -> None:
+        entry = self._ensure_block(record.bid)
+        if entry.segment != NO_SEGMENT:
+            self.usage[entry.segment] = (
+                self.usage.get(entry.segment, 0) - entry.stored_length
+            )
+            bids = self.segment_blocks.get(entry.segment)
+            if bids is not None:
+                bids.discard(record.bid)
+        entry.segment = record.segment
+        entry.offset = record.offset
+        entry.stored_length = record.stored_length
+        entry.length = record.length
+        entry.compressed = record.compressed
+        self.usage[record.segment] = (
+            self.usage.get(record.segment, 0) + record.stored_length
+        )
+        self.segment_blocks.setdefault(record.segment, set()).add(record.bid)
+        self.segment_mod_ts[record.segment] = max(
+            self.segment_mod_ts.get(record.segment, 0), record.timestamp
+        )
+        # The block's data record lives where its data lives, by
+        # construction, so no separate home bookkeeping is needed.
+
+    def _apply_block_dead(self, record: BlockDeadRecord, home_segment: int) -> None:
+        entry = self.blocks.pop(record.bid, None)
+        if entry is not None and entry.segment != NO_SEGMENT:
+            self.usage[entry.segment] = (
+                self.usage.get(entry.segment, 0) - entry.stored_length
+            )
+            bids = self.segment_blocks.get(entry.segment)
+            if bids is not None:
+                bids.discard(record.bid)
+        self._drop_home((KIND_LINK, record.bid))
+        self.next_bid = max(self.next_bid, record.bid + 1)
+        self.put_tombstone(
+            Tombstone(
+                kind="block",
+                ident=record.bid,
+                death_timestamp=record.death_timestamp,
+                home_segment=home_segment,
+            )
+        )
+
+    def _apply_list_first(self, record: ListFirstRecord, home_segment: int) -> None:
+        entry = self._ensure_list(record.lid)
+        entry.first = record.first
+        self._set_home((KIND_FIRST, record.lid), home_segment)
+
+    def _apply_list_meta(self, record: ListMetaRecord, home_segment: int) -> None:
+        entry = self._ensure_list(record.lid)
+        entry.hints = ListHints.unpack(record.hints)
+        self._set_home((KIND_META, record.lid), home_segment)
+
+    def _apply_list_dead(self, record: ListDeadRecord, home_segment: int) -> None:
+        if record.lid in self.lists:
+            del self.lists[record.lid]
+            try:
+                self.list_order.remove(record.lid)
+            except ValueError:  # pragma: no cover - order kept in sync
+                pass
+        self._drop_home((KIND_FIRST, record.lid))
+        self._drop_home((KIND_META, record.lid))
+        self.next_lid = max(self.next_lid, record.lid + 1)
+        self.put_tombstone(
+            Tombstone(
+                kind="list",
+                ident=record.lid,
+                death_timestamp=record.death_timestamp,
+                home_segment=home_segment,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def block(self, bid: int) -> BlockEntry:
+        """The map entry for ``bid`` or :class:`NoSuchBlockError`."""
+        entry = self.blocks.get(bid)
+        if entry is None:
+            raise NoSuchBlockError(bid)
+        return entry
+
+    def list_entry(self, lid: int) -> ListEntry:
+        """The list-table entry for ``lid`` or :class:`NoSuchListError`."""
+        entry = self.lists.get(lid)
+        if entry is None:
+            raise NoSuchListError(lid)
+        return entry
+
+    def iter_list(self, lid: int):
+        """Yield the block numbers of list ``lid`` in order."""
+        entry = self.list_entry(lid)
+        bid = entry.first
+        seen = 0
+        limit = len(self.blocks) + 1
+        while bid is not None:
+            yield bid
+            block = self.blocks.get(bid)
+            if block is None:
+                raise NoSuchBlockError(bid)
+            bid = block.successor
+            seen += 1
+            if seen > limit:  # pragma: no cover - corruption guard
+                raise RuntimeError(f"cycle detected in list {lid}")
+
+    def find_predecessor(self, lid: int, bid: int, hint: int | None = None) -> int | None:
+        """Predecessor of ``bid`` on list ``lid`` (None if ``bid`` is first).
+
+        ``hint`` is the paper's PredBidHint: when it names a block whose
+        successor is ``bid``, the scan is skipped.
+        """
+        if hint is not None:
+            hinted = self.blocks.get(hint)
+            if hinted is not None and hinted.successor == bid:
+                return hint
+        entry = self.list_entry(lid)
+        if entry.first == bid:
+            return None
+        prev = None
+        for current in self.iter_list(lid):
+            if current == bid:
+                return prev
+            prev = current
+        raise NoSuchBlockError(bid)
+
+    def live_bytes(self) -> int:
+        """Total live block-data bytes across all segments."""
+        return sum(max(0, used) for used in self.usage.values())
+
+    def min_summary_timestamp(
+        self, exclude: int | set[int] | None = None
+    ) -> int | None:
+        """Oldest record timestamp across valid on-disk summaries.
+
+        The tombstone-drop rule: a tombstone may be forgotten once this
+        minimum is at or above its death timestamp (no stale record can
+        still exist anywhere). ``exclude`` omits segments being cleaned
+        or scrubbed (an int or a set).
+        """
+        if exclude is None:
+            excluded: set[int] = set()
+        elif isinstance(exclude, int):
+            excluded = {exclude}
+        else:
+            excluded = exclude
+        values = [
+            ts for seg, ts in self.summary_min_ts.items() if seg not in excluded
+        ]
+        return min(values) if values else None

@@ -1,0 +1,12 @@
+"""Simulation substrate: virtual time and cost accounting.
+
+Every component of the reproduction (disk, compressor, file systems) charges
+time against a single :class:`VirtualClock`, so that throughput and latency
+figures reported by the benchmark harness are *simulated* seconds, exactly as
+DESIGN.md prescribes.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.bandwidth import BandwidthModel
+
+__all__ = ["VirtualClock", "BandwidthModel"]

@@ -1,0 +1,151 @@
+"""Unit tests for the benchmark harness itself."""
+
+import pytest
+
+from repro.bench import (
+    BuildSpec,
+    build_ffs,
+    build_minix,
+    build_minix_lld,
+    large_file_benchmark,
+    render_table,
+    small_file_benchmark,
+)
+
+
+# ----------------------------------------------------------------------
+# BuildSpec scaling
+# ----------------------------------------------------------------------
+
+
+def test_spec_full_scale_matches_paper_config():
+    spec = BuildSpec.from_scale(1.0)
+    assert spec.partition_mb == 400
+    assert spec.cache_bytes == 6144 * 1024
+    assert spec.segment_size == 512 * 1024
+    assert spec.block_size == 4096
+    assert spec.small_file_count(10_000) == 10_000
+    assert spec.large_file_mb(80) == 80
+
+
+def test_spec_scales_down_proportionally():
+    spec = BuildSpec.from_scale(0.1)
+    assert spec.partition_mb == 40
+    assert spec.small_file_count(10_000) == 1000
+    assert spec.large_file_mb(80) == 8
+
+
+def test_spec_has_sane_floors():
+    spec = BuildSpec.from_scale(0.001)
+    assert spec.partition_mb >= 8
+    assert spec.cache_bytes >= 256 * 1024
+    assert spec.small_file_count(10_000) >= 16
+    assert spec.large_file_mb(80) >= 2
+
+
+def test_env_var_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.25")
+    from repro.bench import default_scale
+
+    assert default_scale() == 0.25
+
+
+# ----------------------------------------------------------------------
+# render_table
+# ----------------------------------------------------------------------
+
+
+def test_render_table_contains_all_cells():
+    out = render_table(
+        "Title",
+        ["A", "B"],
+        {"row1": {"A": 1.234, "B": 500.0}, "row2": {"A": 12.3}},
+        note="a note",
+    )
+    assert "Title" in out
+    assert "row1" in out and "row2" in out
+    assert "1.23" in out  # small floats: 2 decimals
+    assert "500" in out  # large floats: no decimals
+    assert "12.3" in out  # medium floats: 1 decimal
+    assert out.count("-") > 10  # separator line
+    assert "a note" in out
+
+
+def test_render_table_missing_cell_renders_dash():
+    out = render_table("T", ["A", "B"], {"r": {"A": 1.0}})
+    assert "-" in out.splitlines()[-1]
+
+
+def test_render_table_string_values():
+    out = render_table("T", ["A"], {"r": {"A": "yes"}})
+    assert "yes" in out
+
+
+# ----------------------------------------------------------------------
+# Workloads drive every file system correctly
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    return BuildSpec.from_scale(0.02)
+
+
+def test_small_file_benchmark_counts(tiny_spec):
+    fs = build_minix(tiny_spec)
+    result = small_file_benchmark(fs, 20, 512)
+    assert result.count == 20
+    assert result.size == 512
+    assert result.create_per_sec > 0
+    assert result.read_per_sec > 0
+    assert result.delete_per_sec > 0
+    # The benchmark cleans up after itself.
+    assert fs.readdir("/") == []
+
+
+def test_small_file_benchmark_row_shape(tiny_spec):
+    fs = build_ffs(tiny_spec)
+    row = small_file_benchmark(fs, 10, 256).as_row()
+    assert set(row) == {"C", "R", "D"}
+
+
+def test_large_file_benchmark_phases(tiny_spec):
+    fs, _lld = build_minix_lld(tiny_spec)
+    result = large_file_benchmark(fs, 2)
+    assert result.file_mb == 2
+    row = result.as_row()
+    assert set(row) == {
+        "Write Seq.",
+        "Read Seq.",
+        "Write Rand.",
+        "Read Rand.",
+        "Read Seq. 2",
+    }
+    assert all(value > 0 for value in row.values())
+
+
+def test_build_minix_lld_returns_pair(tiny_spec):
+    fs, lld = build_minix_lld(tiny_spec)
+    assert fs.store.ld is lld
+
+
+def test_build_minix_lld_compression_flag(tiny_spec):
+    from repro.compress.data import compressible_bytes
+
+    fs, lld = build_minix_lld(tiny_spec, compression=True)
+    fd = fs.open("/packed", create=True)
+    fs.write(fd, compressible_bytes(8192, ratio=0.6, seed=61))
+    fs.close(fd)
+    fs.sync()
+    assert lld.compression.bytes_in > 0
+
+
+def test_recovery_helpers(tiny_spec):
+    from repro.bench.recovery import crash_and_recover, populate
+
+    fs, lld = build_minix_lld(tiny_spec)
+    populate(fs, files=10, file_bytes=1024)
+    fresh_fs, fresh_lld, timing = crash_and_recover(fs, lld)
+    assert timing.total_seconds > 0
+    assert timing.report.records_applied > 0
+    assert len(fresh_fs.readdir("/data")) == 10

@@ -1,0 +1,224 @@
+"""Tests for the B+-tree on LD (Figure 1's database client)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.btree import BTree, BTreeError
+from repro.disk import SimulatedDisk, fast_test_disk
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+
+
+def make_tree(capacity_mb: int = 8, page_size: int = 512):
+    """A small page size keeps trees deep enough to exercise splits."""
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=capacity_mb), VirtualClock())
+    lld = LLD(disk, LLDConfig(segment_size=64 * 1024, checkpoint_slots=1))
+    lld.initialize()
+    return BTree.create(lld, page_size=page_size), lld
+
+
+def test_empty_tree():
+    tree, _ = make_tree()
+    assert len(tree) == 0
+    assert tree.get(42) is None
+    assert 42 not in tree
+    assert list(tree.items()) == []
+
+
+def test_single_insert_get():
+    tree, _ = make_tree()
+    tree.insert(7, b"seven")
+    assert tree.get(7) == b"seven"
+    assert 7 in tree
+    assert len(tree) == 1
+
+
+def test_update_existing_key():
+    tree, _ = make_tree()
+    tree.insert(1, b"old")
+    tree.insert(1, b"new")
+    assert tree.get(1) == b"new"
+    assert len(tree) == 1
+
+
+def test_many_inserts_sorted_scan():
+    tree, _ = make_tree()
+    keys = list(range(0, 500, 3))
+    random.Random(5).shuffle(keys)
+    for key in keys:
+        tree.insert(key, str(key).encode())
+    assert len(tree) == len(keys)
+    assert [k for k, _v in tree.items()] == sorted(keys)
+    tree.check_invariants()
+    assert tree.height >= 1  # splits happened
+
+
+def test_range_scan():
+    tree, _ = make_tree()
+    for key in range(100):
+        tree.insert(key, bytes([key]))
+    window = list(tree.items(lo=25, hi=40))
+    assert [k for k, _v in window] == list(range(25, 40))
+    assert all(v == bytes([k]) for k, v in window)
+
+
+def test_delete_leaf_entries():
+    tree, _ = make_tree()
+    for key in range(50):
+        tree.insert(key, b"v%d" % key)
+    for key in range(0, 50, 2):
+        assert tree.delete(key)
+    assert len(tree) == 25
+    for key in range(50):
+        expected = None if key % 2 == 0 else b"v%d" % key
+        assert tree.get(key) == expected
+    tree.check_invariants()
+
+
+def test_delete_absent_key():
+    tree, _ = make_tree()
+    tree.insert(1, b"x")
+    assert not tree.delete(99)
+    assert len(tree) == 1
+
+
+def test_delete_everything():
+    tree, _ = make_tree()
+    keys = list(range(200))
+    random.Random(6).shuffle(keys)
+    for key in keys:
+        tree.insert(key, b"payload")
+    random.Random(7).shuffle(keys)
+    for key in keys:
+        assert tree.delete(key)
+    assert len(tree) == 0
+    assert list(tree.items()) == []
+    assert tree.root is None
+
+
+def test_oversized_value_rejected():
+    tree, _ = make_tree()
+    with pytest.raises(BTreeError):
+        tree.insert(1, b"x" * 5000)
+
+
+def test_key_out_of_range_rejected():
+    tree, _ = make_tree()
+    with pytest.raises(BTreeError):
+        tree.insert(-1, b"x")
+    with pytest.raises(BTreeError):
+        tree.insert(2**64, b"x")
+
+
+def test_reopen_by_meta_page():
+    tree, lld = make_tree()
+    for key in range(30):
+        tree.insert(key, bytes([key]) * 10)
+    again = BTree.open(lld, tree.meta_bid, tree.lid, page_size=tree.page_size)
+    assert len(again) == 30
+    assert again.get(17) == bytes([17]) * 10
+
+
+def test_survives_crash_after_flush():
+    tree, lld = make_tree()
+    for key in range(120):
+        tree.insert(key, b"k%04d" % key)
+    lld.flush()
+    lld.crash()
+    fresh_lld = LLD(lld.disk, lld.config)
+    fresh_lld.initialize()
+    fresh = BTree.open(fresh_lld, tree.meta_bid, tree.lid, page_size=tree.page_size)
+    assert len(fresh) == 120
+    for key in range(120):
+        assert fresh.get(key) == b"k%04d" % key
+    fresh.check_invariants()
+
+
+def test_mutation_is_crash_atomic():
+    """A crash cannot expose a half-applied split: each insert is an ARU."""
+    tree, lld = make_tree()
+    for key in range(0, 80, 2):
+        tree.insert(key, b"stable")
+    lld.flush()
+
+    # Perform one more insert that forces a split, but simulate the ARU
+    # never committing (exception aborts it mid-way through).
+    class Boom(RuntimeError):
+        pass
+
+    original = tree._insert_inner
+
+    def exploding(key, value):
+        original(key, value)
+        raise Boom()
+
+    tree._insert_inner = exploding
+    with pytest.raises(Boom):
+        tree.insert(41, b"torn")
+    lld.flush()
+    lld.crash()
+
+    fresh_lld = LLD(lld.disk, lld.config)
+    fresh_lld.initialize()
+    fresh = BTree.open(fresh_lld, tree.meta_bid, tree.lid, page_size=tree.page_size)
+    # The aborted insert left no trace.
+    assert fresh.get(41) is None
+    assert len(fresh) == 40
+    for key in range(0, 80, 2):
+        assert fresh.get(key) == b"stable"
+    fresh.check_invariants()
+
+
+def test_pages_live_on_one_clustered_list():
+    tree, lld = make_tree()
+    for key in range(100):
+        tree.insert(key, b"x" * 32)
+    pages = lld.list_blocks(tree.lid)
+    assert tree.meta_bid in pages
+    assert len(pages) >= 3  # meta + several nodes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "delete"]),
+            st.integers(min_value=0, max_value=120),
+        ),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_matches_dict_model(operations):
+    tree, _ = make_tree(page_size=256)
+    model: dict[int, bytes] = {}
+    for op, key in operations:
+        if op == "insert":
+            value = b"v%d" % key
+            tree.insert(key, value)
+            model[key] = value
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(tree) == len(model)
+    for key, value in model.items():
+        assert tree.get(key) == value
+    assert [k for k, _v in tree.items()] == sorted(model)
+    tree.check_invariants()
+
+
+def test_large_tree_with_shared_ld():
+    """The Figure 1 scenario: the tree coexists with other LD clients."""
+    tree, lld = make_tree(capacity_mb=8)
+    other = lld.new_list()
+    from repro.ld.hints import LIST_HEAD
+
+    other_bid = lld.new_block(other, LIST_HEAD)
+    lld.write(other_bid, b"unrelated client data")
+    for key in range(300):
+        tree.insert(key, b"%d" % (key * key))
+    assert lld.read(other_bid) == b"unrelated client data"
+    assert tree.get(250) == b"62500"

@@ -1,0 +1,77 @@
+"""Unit and property tests for the LZRW-style codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import compress, compressed_ratio, decompress
+from repro.compress.data import compressible_bytes, random_bytes
+
+
+def test_empty_roundtrip():
+    assert compress(b"") == b""
+    assert decompress(b"", 0) == b""
+
+
+def test_single_byte_roundtrip():
+    data = b"x"
+    assert decompress(compress(data), 1) == data
+
+
+def test_repetitive_data_shrinks():
+    data = b"abcabcabc" * 500
+    packed = compress(data)
+    assert len(packed) < len(data) // 2
+    assert decompress(packed, len(data)) == data
+
+
+def test_random_data_roundtrip_even_if_larger():
+    data = random_bytes(10000, seed=7)
+    packed = compress(data)
+    assert decompress(packed, len(data)) == data
+
+
+def test_all_zeros_highly_compressible():
+    data = b"\x00" * 8192
+    assert compressed_ratio(data) < 0.15
+
+
+def test_truncated_stream_raises():
+    packed = compress(b"hello world hello world hello world")
+    with pytest.raises(ValueError):
+        decompress(packed[: len(packed) // 2], 35)
+
+
+def test_empty_stream_for_nonempty_output_raises():
+    with pytest.raises(ValueError):
+        decompress(b"", 10)
+
+
+def test_compressible_bytes_hits_target_ratio():
+    data = compressible_bytes(64 * 1024, ratio=0.6, seed=1)
+    achieved = compressed_ratio(data)
+    assert 0.45 <= achieved <= 0.75
+
+
+def test_compressible_bytes_cached_and_deterministic():
+    a = compressible_bytes(4096, ratio=0.6, seed=3)
+    b = compressible_bytes(4096, ratio=0.6, seed=3)
+    assert a == b
+    assert compressible_bytes(4096, ratio=0.6, seed=4) != a
+
+
+def test_random_bytes_deterministic():
+    assert random_bytes(100, seed=5) == random_bytes(100, seed=5)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.binary(min_size=0, max_size=4096))
+def test_roundtrip_property(data):
+    assert decompress(compress(data), len(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=200))
+def test_roundtrip_repeated_blocks(chunk, reps):
+    data = chunk * reps
+    assert decompress(compress(data), len(data)) == data

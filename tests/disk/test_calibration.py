@@ -1,0 +1,59 @@
+"""Calibration anchors from the paper (section 4.2).
+
+1. "A user-level process writing 0.5 Mbyte segments to the disk partition in
+   a tight loop achieves a throughput of 2400 Kbyte/s."
+2. "a program that writes back-to-back 4-Kbyte blocks to the disk achieves a
+   throughput of only 300 Kbyte per second" (the extra-rotation effect).
+
+The simulated HP C3010 must land near both numbers, otherwise every derived
+table loses the paper's shape.
+"""
+
+import pytest
+
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.sim import VirtualClock
+
+
+def throughput_kbs(nbytes: int, seconds: float) -> float:
+    return (nbytes / 1024.0) / seconds
+
+
+def test_segment_write_throughput_near_2400_kbs():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=64), VirtualClock())
+    segment = b"\xab" * (512 * 1024)
+    sectors_per_segment = len(segment) // 512
+    t0 = disk.clock.now
+    total = 0
+    for i in range(32):
+        disk.write(i * sectors_per_segment, segment)
+        total += len(segment)
+    rate = throughput_kbs(total, disk.clock.elapsed_since(t0))
+    assert 2000 <= rate <= 2800, f"segment write rate {rate:.0f} KB/s off anchor"
+
+
+def test_back_to_back_4k_write_throughput_near_300_kbs():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=64), VirtualClock())
+    block = b"\xcd" * 4096
+    t0 = disk.clock.now
+    total = 0
+    for i in range(256):
+        disk.write(i * 8, block)
+        total += len(block)
+    rate = throughput_kbs(total, disk.clock.elapsed_since(t0))
+    assert 230 <= rate <= 400, f"4K back-to-back rate {rate:.0f} KB/s off anchor"
+
+
+def test_large_writes_beat_small_writes_by_large_factor():
+    big = SimulatedDisk(hp_c3010(capacity_mb=64), VirtualClock())
+    small = SimulatedDisk(hp_c3010(capacity_mb=64), VirtualClock())
+    nbytes = 2 * 1024 * 1024
+    seg = b"\x01" * (512 * 1024)
+    for i in range(nbytes // len(seg)):
+        big.write(i * 1024, seg)
+    blk = b"\x01" * 4096
+    for i in range(nbytes // len(blk)):
+        small.write(i * 8, blk)
+    ratio = small.clock.now / big.clock.now
+    # The paper's ratio is 2400/300 = 8x.
+    assert 5 <= ratio <= 12

@@ -1,0 +1,75 @@
+"""Unit tests for disk geometry."""
+
+import pytest
+
+from repro.disk import DiskGeometry, hp_c3010
+
+
+def small_geometry() -> DiskGeometry:
+    return DiskGeometry(
+        sector_size=512,
+        sectors_per_track=10,
+        heads=2,
+        cylinders=4,
+        rpm=6000,
+    )
+
+
+def test_sectors_per_cylinder():
+    assert small_geometry().sectors_per_cylinder == 20
+
+
+def test_total_sectors():
+    assert small_geometry().total_sectors == 80
+
+
+def test_capacity_bytes():
+    assert small_geometry().capacity_bytes == 80 * 512
+
+
+def test_revolution_time():
+    assert small_geometry().revolution_time == pytest.approx(0.01)
+
+
+def test_sector_time():
+    assert small_geometry().sector_time == pytest.approx(0.001)
+
+
+def test_decompose_first_sector():
+    assert small_geometry().decompose(0) == (0, 0, 0)
+
+
+def test_decompose_track_boundary():
+    assert small_geometry().decompose(10) == (0, 1, 0)
+
+
+def test_decompose_cylinder_boundary():
+    assert small_geometry().decompose(20) == (1, 0, 0)
+
+
+def test_decompose_last_sector():
+    assert small_geometry().decompose(79) == (3, 1, 9)
+
+
+def test_decompose_out_of_range():
+    with pytest.raises(ValueError):
+        small_geometry().decompose(80)
+    with pytest.raises(ValueError):
+        small_geometry().decompose(-1)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        DiskGeometry(sector_size=0)
+    with pytest.raises(ValueError):
+        DiskGeometry(min_seek_ms=5.0, max_seek_ms=1.0)
+
+
+def test_hp_c3010_capacity_near_request():
+    geometry = hp_c3010(capacity_mb=400)
+    capacity_mb = geometry.capacity_bytes / (1024 * 1024)
+    assert 395 <= capacity_mb <= 400
+
+
+def test_hp_c3010_is_5400_rpm():
+    assert hp_c3010().rpm == 5400

@@ -1,0 +1,43 @@
+"""Fixtures: one MINIX file system per backend, plus the FFS-like FS."""
+
+import pytest
+
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.fs.ffs import make_ffs
+from repro.fs.minix import make_minix, make_minix_lld
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+
+
+def fresh_disk(capacity_mb: int = 32) -> SimulatedDisk:
+    return SimulatedDisk(hp_c3010(capacity_mb=capacity_mb), VirtualClock())
+
+
+def minix_classic(capacity_mb: int = 32, **kw):
+    return make_minix(fresh_disk(capacity_mb), ninodes=1024, **kw)
+
+
+def minix_lld(capacity_mb: int = 32, **kw):
+    lld = LLD(
+        fresh_disk(capacity_mb),
+        LLDConfig(segment_size=128 * 1024, checkpoint_slots=1),
+    )
+    lld.initialize()
+    return make_minix_lld(lld, ninodes=1024, **kw)
+
+
+def ffs(capacity_mb: int = 32, **kw):
+    return make_ffs(fresh_disk(capacity_mb), ninodes=1024, **kw)
+
+
+FS_FACTORIES = {
+    "minix": minix_classic,
+    "minix_lld": minix_lld,
+    "ffs": ffs,
+}
+
+
+@pytest.fixture(params=sorted(FS_FACTORIES))
+def any_fs(request):
+    """Each of the three file systems, freshly mkfs'ed."""
+    return FS_FACTORIES[request.param]()

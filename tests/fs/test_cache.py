@@ -1,0 +1,132 @@
+"""Unit tests for the buffer cache."""
+
+import pytest
+
+from repro.fs.cache import BufferCache
+
+
+def make_cache(capacity=1024):
+    written = []
+    cache = BufferCache(capacity, lambda key, data: written.append((key, data)))
+    return cache, written
+
+
+def test_get_miss_returns_none():
+    cache, _written = make_cache()
+    assert cache.get(1) is None
+    assert cache.misses == 1
+
+
+def test_put_get_roundtrip():
+    cache, _written = make_cache()
+    cache.put(1, b"hello", dirty=False)
+    assert cache.get(1) == b"hello"
+    assert cache.hits == 1
+
+
+def test_contains():
+    cache, _written = make_cache()
+    cache.put(5, b"x", dirty=False)
+    assert 5 in cache
+    assert 6 not in cache
+
+
+def test_eviction_writes_dirty_lru():
+    cache, written = make_cache(capacity=1000)
+    cache.put(1, b"a" * 400, dirty=True)
+    cache.put(2, b"b" * 400, dirty=False)
+    cache.put(3, b"c" * 400, dirty=True)  # evicts key 1
+    assert written == [(1, b"a" * 400)]
+    assert 1 not in cache
+
+
+def test_eviction_skips_clean_buffers():
+    cache, written = make_cache(capacity=1000)
+    cache.put(1, b"a" * 400, dirty=False)
+    cache.put(2, b"b" * 400, dirty=False)
+    cache.put(3, b"c" * 400, dirty=False)
+    assert written == []
+    assert cache.evictions == 1
+
+
+def test_lru_refresh_on_get():
+    cache, written = make_cache(capacity=1000)
+    cache.put(1, b"a" * 400, dirty=True)
+    cache.put(2, b"b" * 400, dirty=True)
+    cache.get(1)  # refresh 1; now 2 is LRU
+    cache.put(3, b"c" * 400, dirty=True)
+    assert written == [(2, b"b" * 400)]
+
+
+def test_flush_writes_all_dirty_in_key_order():
+    cache, written = make_cache()
+    cache.put(3, b"c", dirty=True)
+    cache.put(1, b"a", dirty=True)
+    cache.put(2, b"b", dirty=False)
+    count = cache.flush()
+    assert count == 2
+    assert [key for key, _data in written] == [1, 3]
+    assert cache.dirty_count == 0
+
+
+def test_flush_specific_keys():
+    cache, written = make_cache()
+    cache.put(1, b"a", dirty=True)
+    cache.put(2, b"b", dirty=True)
+    cache.flush(keys=[2])
+    assert [key for key, _ in written] == [2]
+    assert cache.dirty_count == 1
+
+
+def test_flush_skips_keys_cleaned_by_callback():
+    """A clustering writeback may clean neighbours mid-flush."""
+    cache = BufferCache(10**6, lambda key, data: cache.clean(key + 1))
+    cache.put(1, b"a", dirty=True)
+    cache.put(2, b"b", dirty=True)
+    assert cache.flush() == 1  # key 2 was cleaned by key 1's writeback
+
+
+def test_drop_flushes_then_clears():
+    cache, written = make_cache()
+    cache.put(1, b"a", dirty=True)
+    cache.drop()
+    assert written == [(1, b"a")]
+    assert 1 not in cache
+    assert cache.used_bytes == 0
+
+
+def test_forget_discards_without_writeback():
+    cache, written = make_cache()
+    cache.put(1, b"a", dirty=True)
+    cache.forget(1)
+    cache.flush()
+    assert written == []
+
+
+def test_replace_updates_size_accounting():
+    cache, _written = make_cache()
+    cache.put(1, b"a" * 100, dirty=False)
+    cache.put(1, b"b" * 50, dirty=False)
+    assert cache.used_bytes == 50
+
+
+def test_peek_does_not_refresh_lru():
+    cache, written = make_cache(capacity=1000)
+    cache.put(1, b"a" * 400, dirty=True)
+    cache.put(2, b"b" * 400, dirty=True)
+    cache.peek(1)
+    cache.put(3, b"c" * 400, dirty=True)
+    assert written == [(1, b"a" * 400)]
+
+
+def test_is_dirty_and_clean():
+    cache, _written = make_cache()
+    cache.put(1, b"a", dirty=True)
+    assert cache.is_dirty(1)
+    cache.clean(1)
+    assert not cache.is_dirty(1)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        BufferCache(0, lambda k, d: None)

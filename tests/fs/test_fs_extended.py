@@ -1,0 +1,204 @@
+"""rename / link / truncate across all three file systems."""
+
+import pytest
+
+from repro.fs.api import FileExists, FileNotFound, FileSystemError, IsADir
+
+
+def write_file(fs, path, data):
+    fd = fs.open(path, create=True)
+    fs.write(fd, data)
+    fs.close(fd)
+
+
+def read_file(fs, path, n=1 << 20):
+    fd = fs.open(path)
+    data = fs.read(fd, n)
+    fs.close(fd)
+    return data
+
+
+# ----------------------------------------------------------------------
+# rename
+# ----------------------------------------------------------------------
+
+
+def test_rename_same_directory(any_fs):
+    write_file(any_fs, "/a", b"payload")
+    any_fs.rename("/a", "/b")
+    assert not any_fs.exists("/a")
+    assert read_file(any_fs, "/b") == b"payload"
+
+
+def test_rename_across_directories(any_fs):
+    any_fs.mkdir("/src")
+    any_fs.mkdir("/dst")
+    write_file(any_fs, "/src/f", b"moved")
+    any_fs.rename("/src/f", "/dst/g")
+    assert any_fs.readdir("/src") == []
+    assert read_file(any_fs, "/dst/g") == b"moved"
+
+
+def test_rename_replaces_existing_file(any_fs):
+    write_file(any_fs, "/a", b"winner")
+    write_file(any_fs, "/b", b"loser")
+    any_fs.rename("/a", "/b")
+    assert read_file(any_fs, "/b") == b"winner"
+    assert not any_fs.exists("/a")
+
+
+def test_rename_onto_itself_is_noop(any_fs):
+    write_file(any_fs, "/same", b"data")
+    any_fs.rename("/same", "/same")
+    assert read_file(any_fs, "/same") == b"data"
+
+
+def test_rename_directory(any_fs):
+    any_fs.mkdir("/olddir")
+    write_file(any_fs, "/olddir/child", b"inside")
+    any_fs.rename("/olddir", "/newdir")
+    assert read_file(any_fs, "/newdir/child") == b"inside"
+    assert not any_fs.exists("/olddir")
+
+
+def test_rename_dir_into_own_subtree_rejected(any_fs):
+    any_fs.mkdir("/d")
+    any_fs.mkdir("/d/sub")
+    with pytest.raises(FileSystemError):
+        any_fs.rename("/d", "/d/sub/moved")
+
+
+def test_rename_missing_source(any_fs):
+    with pytest.raises(FileNotFound):
+        any_fs.rename("/ghost", "/elsewhere")
+
+
+def test_rename_onto_directory_rejected(any_fs):
+    write_file(any_fs, "/f", b"x")
+    any_fs.mkdir("/d")
+    with pytest.raises(IsADir):
+        any_fs.rename("/f", "/d")
+
+
+# ----------------------------------------------------------------------
+# link
+# ----------------------------------------------------------------------
+
+
+def test_hard_link_shares_content(any_fs):
+    write_file(any_fs, "/one", b"shared bytes")
+    any_fs.link("/one", "/two")
+    assert read_file(any_fs, "/two") == b"shared bytes"
+    assert any_fs.stat("/one").nlinks == 2
+    assert any_fs.stat("/one").ino == any_fs.stat("/two").ino
+
+
+def test_write_through_one_name_visible_via_other(any_fs):
+    write_file(any_fs, "/one", b"original")
+    any_fs.link("/one", "/two")
+    fd = any_fs.open("/two")
+    any_fs.seek(fd, 0)
+    any_fs.close(fd)
+    write_file(any_fs, "/two", b"updated!")
+    assert read_file(any_fs, "/one") == b"updated!"
+
+
+def test_unlink_one_name_keeps_data(any_fs):
+    write_file(any_fs, "/one", b"survivor")
+    any_fs.link("/one", "/two")
+    any_fs.unlink("/one")
+    assert read_file(any_fs, "/two") == b"survivor"
+    assert any_fs.stat("/two").nlinks == 1
+
+
+def test_unlink_last_name_frees(any_fs):
+    write_file(any_fs, "/one", b"gone soon")
+    any_fs.link("/one", "/two")
+    any_fs.unlink("/one")
+    any_fs.unlink("/two")
+    assert any_fs.readdir("/") == []
+
+
+def test_link_to_directory_rejected(any_fs):
+    any_fs.mkdir("/d")
+    with pytest.raises(IsADir):
+        any_fs.link("/d", "/dlink")
+
+
+def test_link_over_existing_rejected(any_fs):
+    write_file(any_fs, "/a", b"a")
+    write_file(any_fs, "/b", b"b")
+    with pytest.raises(FileExists):
+        any_fs.link("/a", "/b")
+
+
+# ----------------------------------------------------------------------
+# truncate
+# ----------------------------------------------------------------------
+
+
+def test_truncate_to_zero(any_fs):
+    write_file(any_fs, "/t", b"x" * 50000)
+    any_fs.truncate("/t", 0)
+    assert any_fs.stat("/t").size == 0
+    assert read_file(any_fs, "/t") == b""
+
+
+def test_truncate_shrink_partial_block(any_fs):
+    write_file(any_fs, "/t", b"abcdefghij" * 1000)
+    any_fs.truncate("/t", 5)
+    assert any_fs.stat("/t").size == 5
+    assert read_file(any_fs, "/t") == b"abcde"
+
+
+def test_truncate_then_extend_reads_zeros(any_fs):
+    write_file(any_fs, "/t", b"\xff" * 10000)
+    any_fs.truncate("/t", 100)
+    any_fs.truncate("/t", 10000)
+    data = read_file(any_fs, "/t")
+    assert data[:100] == b"\xff" * 100
+    assert data[100:] == b"\x00" * 9900
+
+
+def test_truncate_extend_is_sparse(any_fs):
+    write_file(any_fs, "/t", b"start")
+    any_fs.truncate("/t", 1 << 20)
+    assert any_fs.stat("/t").size == 1 << 20
+    assert read_file(any_fs, "/t", 10) == b"start\x00\x00\x00\x00\x00"
+
+
+def test_truncate_frees_space(any_fs):
+    """Shrinking and re-writing repeatedly must not leak zones."""
+    big = b"\x5e" * (any_fs.block_size * 30)
+    for _ in range(6):
+        write_file(any_fs, "/cycle", big)
+        any_fs.truncate("/cycle", 0)
+    write_file(any_fs, "/cycle", big)
+    assert read_file(any_fs, "/cycle") == big
+
+
+def test_truncate_deep_file(any_fs):
+    """Truncation prunes the indirect tree correctly."""
+    block = any_fs.block_size
+    write_file(any_fs, "/deep", b"\x21" * (block * 12))  # beyond direct
+    any_fs.truncate("/deep", block * 3)
+    assert any_fs.stat("/deep").size == block * 3
+    assert read_file(any_fs, "/deep") == b"\x21" * (block * 3)
+    # And the file is still writable past the cut.
+    fd = any_fs.open("/deep")
+    any_fs.seek(fd, block * 10)
+    any_fs.write(fd, b"tail")
+    any_fs.close(fd)
+    assert read_file(any_fs, "/deep")[block * 10 :] == b"tail"
+
+
+def test_truncate_directory_rejected(any_fs):
+    any_fs.mkdir("/d")
+    with pytest.raises(IsADir):
+        any_fs.truncate("/d", 0)
+
+
+def test_truncate_negative_rejected(any_fs):
+    write_file(any_fs, "/t", b"x")
+    with pytest.raises(ValueError):
+        any_fs.truncate("/t", -1)

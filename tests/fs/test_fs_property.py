@@ -1,0 +1,132 @@
+"""Property tests: file systems against an in-memory reference model.
+
+Random sequences of create/write/unlink/mkdir operations run against both
+a file system and a plain dict model; contents, listings, and sizes must
+match. MINIX-LLD additionally round-trips a flush + crash + recovery.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.fs.conftest import FS_FACTORIES
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "append", "overwrite", "unlink", "mkdir"]),
+        st.integers(min_value=0, max_value=5),  # name index
+        st.integers(min_value=0, max_value=255),  # payload byte
+        st.integers(min_value=1, max_value=6000),  # payload length
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def apply_ops(fs, operations):
+    """Run operations, mirroring them into a dict model; returns it."""
+    model: dict[str, bytes] = {}
+    for op, index, byte, length in operations:
+        path = f"/file{index}"
+        payload = bytes([byte]) * length
+        if op == "create":
+            fd = fs.open(path, create=True)
+            fs.close(fd)
+            model.setdefault(path, b"")
+        elif op == "append":
+            if path not in model:
+                continue
+            fd = fs.open(path)
+            fs.seek(fd, len(model[path]))
+            fs.write(fd, payload)
+            fs.close(fd)
+            model[path] = model[path] + payload
+        elif op == "overwrite":
+            if path not in model:
+                continue
+            fd = fs.open(path)
+            fs.write(fd, payload)
+            fs.close(fd)
+            old = model[path]
+            model[path] = payload + old[length:]
+        elif op == "unlink":
+            if path not in model:
+                continue
+            fs.unlink(path)
+            del model[path]
+        elif op == "mkdir":
+            dirname = f"/dir{index}"
+            if not fs.exists(dirname):
+                fs.mkdir(dirname)
+    return model
+
+
+def check(fs, model):
+    names = sorted(n for n in fs.readdir("/") if n.startswith("file"))
+    assert names == sorted(p[1:] for p in model)
+    for path, expected in model.items():
+        assert fs.stat(path).size == len(expected)
+        fd = fs.open(path)
+        assert fs.read(fd, len(expected) + 10) == expected
+        fs.close(fd)
+
+
+@settings(max_examples=12, deadline=None)
+@given(ops)
+def test_minix_matches_model(operations):
+    fs = FS_FACTORIES["minix"]()
+    model = apply_ops(fs, operations)
+    check(fs, model)
+
+
+@settings(max_examples=12, deadline=None)
+@given(ops)
+def test_ffs_matches_model(operations):
+    fs = FS_FACTORIES["ffs"]()
+    model = apply_ops(fs, operations)
+    check(fs, model)
+
+
+@settings(max_examples=12, deadline=None)
+@given(ops)
+def test_minix_lld_matches_model_across_crash(operations):
+    from repro.fs.minix import LDStore, MinixFS
+    from repro.lld import LLD
+
+    fs = FS_FACTORIES["minix_lld"]()
+    model = apply_ops(fs, operations)
+    check(fs, model)
+    # Flush, crash, recover: the model must still hold exactly.
+    fs.sync()
+    lld = fs.store.ld
+    lld.crash()
+    fresh_lld = LLD(lld.disk, lld.config)
+    fresh_lld.initialize()
+    fresh = MinixFS(LDStore(fresh_lld), readahead=False)
+    fresh.mount()
+    check(fresh, model)
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops)
+def test_dosfs_matches_model(operations):
+    from repro.fs.dosfs import DosFS
+    from repro.disk import SimulatedDisk, fast_test_disk
+    from repro.lld import LLD, LLDConfig
+    from repro.sim import VirtualClock
+
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=8), VirtualClock())
+    lld = LLD(disk, LLDConfig(segment_size=128 * 1024, checkpoint_slots=1))
+    lld.initialize()
+    fs = DosFS(lld)
+    fs.mkfs()
+    model = apply_ops(fs, operations)
+    names = sorted(n for n in fs.readdir("/") if n.startswith("file"))
+    assert names == sorted(p[1:] for p in model)
+    for path, expected in model.items():
+        fd = fs.open(path)
+        assert fs.read(fd, len(expected) + 10) == expected
+        fs.close(fd)

@@ -1,0 +1,229 @@
+"""Behavioural tests run against all three file systems.
+
+One FS core, three stores — these tests pin the POSIX-flavoured semantics
+shared by plain MINIX, MINIX LLD, and the FFS-like file system.
+"""
+
+import pytest
+
+from repro.fs.api import (
+    BadFileDescriptor,
+    FileExists,
+    FileNotFound,
+    FileSystemError,
+    IsADir,
+    NotADir,
+)
+
+
+def test_root_starts_empty(any_fs):
+    assert any_fs.readdir("/") == []
+
+
+def test_create_and_read_back(any_fs):
+    fd = any_fs.open("/a.txt", create=True)
+    any_fs.write(fd, b"contents")
+    any_fs.close(fd)
+    fd = any_fs.open("/a.txt")
+    assert any_fs.read(fd, 100) == b"contents"
+    any_fs.close(fd)
+
+
+def test_open_missing_raises(any_fs):
+    with pytest.raises(FileNotFound):
+        any_fs.open("/missing")
+
+
+def test_create_is_idempotent_open(any_fs):
+    fd = any_fs.open("/f", create=True)
+    any_fs.write(fd, b"once")
+    any_fs.close(fd)
+    fd = any_fs.open("/f", create=True)  # existing file: just open
+    assert any_fs.read(fd, 10) == b"once"
+    any_fs.close(fd)
+
+
+def test_write_read_at_offsets(any_fs):
+    fd = any_fs.open("/f", create=True)
+    any_fs.write(fd, b"0123456789")
+    any_fs.seek(fd, 3)
+    assert any_fs.read(fd, 4) == b"3456"
+    any_fs.seek(fd, 5)
+    any_fs.write(fd, b"XY")
+    any_fs.seek(fd, 0)
+    assert any_fs.read(fd, 10) == b"01234XY789"
+    any_fs.close(fd)
+
+
+def test_sparse_file_reads_zeros(any_fs):
+    fd = any_fs.open("/sparse", create=True)
+    any_fs.seek(fd, 100_000)
+    any_fs.write(fd, b"end")
+    any_fs.seek(fd, 50_000)
+    assert any_fs.read(fd, 4) == b"\x00" * 4
+    assert any_fs.stat("/sparse").size == 100_003
+    any_fs.close(fd)
+
+
+def test_large_file_spans_indirect_blocks(any_fs):
+    block = any_fs.block_size
+    fd = any_fs.open("/big", create=True)
+    chunk = bytes(range(256)) * (block // 256)
+    for _ in range(10):  # 10 blocks > 7 direct zones
+        any_fs.write(fd, chunk)
+    any_fs.close(fd)
+    any_fs.drop_caches()
+    fd = any_fs.open("/big")
+    any_fs.seek(fd, 8 * block)
+    assert any_fs.read(fd, block) == chunk
+    any_fs.close(fd)
+
+
+def test_mkdir_and_nested_paths(any_fs):
+    any_fs.mkdir("/d1")
+    any_fs.mkdir("/d1/d2")
+    fd = any_fs.open("/d1/d2/deep", create=True)
+    any_fs.write(fd, b"deep file")
+    any_fs.close(fd)
+    assert any_fs.readdir("/d1") == ["d2"]
+    assert any_fs.readdir("/d1/d2") == ["deep"]
+    assert any_fs.stat("/d1").is_dir
+
+
+def test_mkdir_existing_raises(any_fs):
+    any_fs.mkdir("/d")
+    with pytest.raises(FileExists):
+        any_fs.mkdir("/d")
+
+
+def test_unlink_removes_entry(any_fs):
+    fd = any_fs.open("/gone", create=True)
+    any_fs.write(fd, b"bye")
+    any_fs.close(fd)
+    any_fs.unlink("/gone")
+    assert any_fs.readdir("/") == []
+    with pytest.raises(FileNotFound):
+        any_fs.open("/gone")
+
+
+def test_unlink_missing_raises(any_fs):
+    with pytest.raises(FileNotFound):
+        any_fs.unlink("/missing")
+
+
+def test_unlink_directory_raises(any_fs):
+    any_fs.mkdir("/d")
+    with pytest.raises(IsADir):
+        any_fs.unlink("/d")
+
+
+def test_rmdir(any_fs):
+    any_fs.mkdir("/d")
+    any_fs.rmdir("/d")
+    assert any_fs.readdir("/") == []
+
+
+def test_rmdir_nonempty_raises(any_fs):
+    any_fs.mkdir("/d")
+    fd = any_fs.open("/d/f", create=True)
+    any_fs.close(fd)
+    with pytest.raises(FileSystemError):
+        any_fs.rmdir("/d")
+
+
+def test_open_dir_as_file_raises(any_fs):
+    any_fs.mkdir("/d")
+    with pytest.raises(IsADir):
+        any_fs.open("/d")
+
+
+def test_path_through_file_raises(any_fs):
+    fd = any_fs.open("/plain", create=True)
+    any_fs.close(fd)
+    with pytest.raises((NotADir, FileNotFound)):
+        any_fs.open("/plain/child")
+
+
+def test_bad_fd_raises(any_fs):
+    with pytest.raises(BadFileDescriptor):
+        any_fs.read(999, 1)
+    with pytest.raises(BadFileDescriptor):
+        any_fs.close(999)
+
+
+def test_relative_path_rejected(any_fs):
+    with pytest.raises(FileSystemError):
+        any_fs.open("relative/path")
+
+
+def test_many_files_in_one_directory(any_fs):
+    for i in range(100):
+        fd = any_fs.open(f"/file-{i:03d}", create=True)
+        any_fs.write(fd, f"payload {i}".encode())
+        any_fs.close(fd)
+    names = any_fs.readdir("/")
+    assert len(names) == 100
+    fd = any_fs.open("/file-057")
+    assert any_fs.read(fd, 100) == b"payload 57"
+    any_fs.close(fd)
+
+
+def test_delete_half_then_read_rest(any_fs):
+    for i in range(40):
+        fd = any_fs.open(f"/f{i}", create=True)
+        any_fs.write(fd, bytes([i]) * 512)
+        any_fs.close(fd)
+    for i in range(0, 40, 2):
+        any_fs.unlink(f"/f{i}")
+    assert len(any_fs.readdir("/")) == 20
+    for i in range(1, 40, 2):
+        fd = any_fs.open(f"/f{i}")
+        assert any_fs.read(fd, 512) == bytes([i]) * 512
+        any_fs.close(fd)
+
+
+def test_survives_drop_caches(any_fs):
+    fd = any_fs.open("/persist", create=True)
+    any_fs.write(fd, b"x" * 20000)
+    any_fs.close(fd)
+    any_fs.drop_caches()
+    fd = any_fs.open("/persist")
+    assert any_fs.read(fd, 20000) == b"x" * 20000
+    any_fs.close(fd)
+
+
+def test_reuse_space_after_delete(any_fs):
+    """Create/delete cycles must not leak storage."""
+    payload = b"\x5c" * any_fs.block_size
+    for _round in range(5):
+        for i in range(20):
+            fd = any_fs.open(f"/tmp{i}", create=True)
+            for _ in range(4):
+                any_fs.write(fd, payload)
+            any_fs.close(fd)
+        for i in range(20):
+            any_fs.unlink(f"/tmp{i}")
+    assert any_fs.readdir("/") == []
+
+
+def test_stat_fields(any_fs):
+    fd = any_fs.open("/s", create=True)
+    any_fs.write(fd, b"123")
+    any_fs.close(fd)
+    st = any_fs.stat("/s")
+    assert st.size == 3
+    assert not st.is_dir
+    assert st.nlinks == 1
+    assert any_fs.exists("/s")
+    assert not any_fs.exists("/nope")
+
+
+def test_sync_is_idempotent(any_fs):
+    fd = any_fs.open("/f", create=True)
+    any_fs.write(fd, b"data")
+    any_fs.close(fd)
+    any_fs.sync()
+    any_fs.sync()
+    fd = any_fs.open("/f")
+    assert any_fs.read(fd, 4) == b"data"
+    any_fs.close(fd)

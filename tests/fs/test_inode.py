@@ -1,0 +1,55 @@
+"""Tests for the 64-byte i-node encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fs.minix.inode import I_DIR, I_FILE, INODE_SIZE, NZONES, Inode
+
+
+def test_pack_size_is_64():
+    assert len(Inode().pack()) == INODE_SIZE
+
+
+def test_fresh_inode_is_free():
+    inode = Inode()
+    assert inode.is_free
+    assert not inode.is_file
+    assert not inode.is_dir
+
+
+def test_roundtrip_defaults():
+    inode = Inode()
+    out = Inode.unpack(inode.pack())
+    assert out == inode
+
+
+def test_roundtrip_file():
+    inode = Inode(mode=I_FILE, nlinks=2, size=12345, mtime=99, lid=7)
+    inode.zones[0] = 100
+    inode.zones[8] = 200
+    out = Inode.unpack(inode.pack())
+    assert out == inode
+    assert out.is_file
+
+
+def test_roundtrip_negative_lid():
+    inode = Inode(mode=I_DIR, lid=-1)
+    assert Inode.unpack(inode.pack()).lid == -1
+
+
+@given(
+    st.sampled_from([0, I_FILE, I_DIR]),
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=NZONES, max_size=NZONES),
+)
+def test_roundtrip_property(mode, nlinks, size, zones):
+    inode = Inode(mode=mode, nlinks=nlinks, size=size, mtime=1, lid=3, zones=zones)
+    assert Inode.unpack(inode.pack()) == inode
+
+
+def test_unpack_short_record_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Inode.unpack(b"\x00" * 10)

@@ -1,0 +1,73 @@
+"""Tests pinning the Table 2/3 memory model to the paper's numbers."""
+
+import pytest
+
+from repro.memmodel import (
+    MemoryModelParams,
+    block_map_bytes,
+    list_table_bytes,
+    segment_usage_table_bytes,
+    table2_rows,
+    table3_overhead_percent,
+    table3_rows,
+    total_memory_bytes,
+)
+
+MB = 1024 * 1024
+
+
+def test_block_map_plain_is_1_5_mb():
+    assert block_map_bytes(False) == pytest.approx(1.5 * MB, rel=0.01)
+
+
+def test_block_map_compressed_is_3_8_mb():
+    assert block_map_bytes(True) == pytest.approx(3.8 * MB, rel=0.02)
+
+
+def test_list_table_single_list_is_negligible():
+    assert list_table_bytes(False, False) == 4
+
+
+def test_list_table_per_file_is_0_8_mb():
+    assert list_table_bytes(True, True) == pytest.approx(0.8 * MB, rel=0.05)
+
+
+def test_usage_table_is_6_kb():
+    assert segment_usage_table_bytes() == pytest.approx(6 * 1024, rel=0.01)
+
+
+def test_totals_match_table2():
+    assert total_memory_bytes(False, False) == pytest.approx(1.5 * MB, rel=0.01)
+    assert total_memory_bytes(True, True) == pytest.approx(4.6 * MB, rel=0.01)
+
+
+def test_table2_rows_structure():
+    rows = table2_rows()
+    assert rows["single_list"]["total_mb"] == pytest.approx(1.5, rel=0.01)
+    assert rows["compression_list_per_file"]["total_mb"] == pytest.approx(4.6, rel=0.01)
+
+
+def test_table3_extremes_match_paper():
+    """Paper: LLD adds from 3% to 31% to the price of a disk."""
+    rows = table3_rows()
+    percents = [r["best_percent"] for r in rows] + [r["worst_percent"] for r in rows]
+    assert min(percents) == pytest.approx(3.0, abs=0.2)
+    assert max(percents) == pytest.approx(31.0, abs=1.0)
+
+
+def test_table3_cells_match_paper():
+    # ($30 RAM, $750 disk): 6% best case, 18% worst case.
+    assert table3_overhead_percent(30, 750, 1.5) == pytest.approx(6.0, abs=0.2)
+    assert table3_overhead_percent(30, 750, 4.6) == pytest.approx(18.4, abs=0.5)
+    # ($50 RAM, $1500 disk): 5% and 15%.
+    assert table3_overhead_percent(50, 1500, 1.5) == pytest.approx(5.0, abs=0.2)
+    assert table3_overhead_percent(50, 1500, 4.6) == pytest.approx(15.3, abs=0.5)
+
+
+def test_custom_params_scale():
+    params = MemoryModelParams(disk_bytes=4 * 1024 * MB)
+    # Paper §5.1: for a 4 GB disk the simple map costs 6 MB.
+    assert block_map_bytes(False, params) == pytest.approx(6 * MB, rel=0.01)
+    # And a list per 8 KB file costs 2 MB.
+    params_plain = MemoryModelParams(disk_bytes=4 * 1024 * MB, compression_ratio=1.0)
+    assert list_table_bytes(True, False, params_plain) == pytest.approx(2 * MB, rel=0.05)

@@ -1,0 +1,115 @@
+"""Classic-MINIX-specific behaviour: bitmaps, allocate-near, remount."""
+
+import pytest
+
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.fs.api import NoSpace
+from repro.fs.minix import ClassicStore, MinixFS, make_minix
+from repro.sim import VirtualClock
+
+
+def build(capacity_mb=32, **kw):
+    disk = SimulatedDisk(hp_c3010(capacity_mb=capacity_mb), VirtualClock())
+    return make_minix(disk, ninodes=1024, **kw), disk
+
+
+def test_allocate_near_gives_contiguous_files():
+    fs, _disk = build()
+    fd = fs.open("/f", create=True)
+    fs.write(fd, b"\x01" * (4096 * 6))
+    fs.close(fd)
+    inode = fs._iget(fs._resolve("/f"))
+    zones = [z for z in inode.zones[:7] if z]
+    assert zones == list(range(zones[0], zones[0] + 6))
+
+
+def test_remount_preserves_file_system():
+    fs, disk = build()
+    fd = fs.open("/keep", create=True)
+    fs.write(fd, b"across remount")
+    fs.close(fd)
+    fs.sync()
+    fresh = MinixFS(ClassicStore(disk), readahead=True)
+    fresh.mount()
+    fd = fresh.open("/keep")
+    assert fresh.read(fd, 100) == b"across remount"
+
+
+def test_mount_rejects_blank_disk():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=16), VirtualClock())
+    fs = MinixFS(ClassicStore(disk))
+    with pytest.raises(ValueError):
+        fs.mount()
+
+
+def test_out_of_space_raises_nospace():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=2), VirtualClock())
+    fs = make_minix(disk, ninodes=128)
+    fd = fs.open("/huge", create=True)
+    with pytest.raises(NoSpace):
+        for _ in range(4096):
+            fs.write(fd, b"\xff" * 4096)
+
+
+def test_zone_freed_on_unlink_is_reusable():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=2), VirtualClock())
+    fs = make_minix(disk, ninodes=128)
+    payload = b"\x01" * 4096
+    for _round in range(6):
+        fd = fs.open("/cycle", create=True)
+        for _ in range(50):
+            fs.write(fd, payload)
+        fs.close(fd)
+        fs.unlink("/cycle")
+    assert fs.readdir("/") == []
+
+
+def test_readahead_coalesces_sequential_reads():
+    fs, disk = build()
+    fd = fs.open("/seq", create=True)
+    fs.write(fd, b"\x02" * (4096 * 32))
+    fs.close(fd)
+    fs.drop_caches()
+    fd = fs.open("/seq")
+    for _ in range(16):
+        fs.read(fd, 8192)
+    fs.close(fd)
+    assert fs.stats.readaheads > 0
+    # Multi-block requests happened (request size > 1 block).
+    big_requests = [
+        size for size in disk.stats.request_sizes if size > 8
+    ]
+    assert big_requests
+
+
+def test_no_readahead_when_disabled():
+    fs, _disk = build(readahead=False)
+    fd = fs.open("/seq", create=True)
+    fs.write(fd, b"\x03" * (4096 * 16))
+    fs.close(fd)
+    fs.drop_caches()
+    fd = fs.open("/seq")
+    for _ in range(8):
+        fs.read(fd, 8192)
+    assert fs.stats.readaheads == 0
+
+
+def test_sync_writes_one_block_per_request():
+    """MINIX's per-block writes: the root of its slow write throughput."""
+    fs, disk = build()
+    fd = fs.open("/f", create=True)
+    fs.write(fd, b"\x04" * (4096 * 20))
+    fs.close(fd)
+    writes_before = disk.stats.writes
+    fs.sync()
+    writes = disk.stats.writes - writes_before
+    assert writes >= 20  # every data block is its own request
+
+
+def test_inode_bitmap_roundtrip():
+    fs, _disk = build()
+    store = fs.store
+    allocated = [store.alloc_inode() for _ in range(5)]
+    assert len(set(allocated)) == 5
+    store.free_inode(allocated[2])
+    assert store.alloc_inode() == allocated[2]

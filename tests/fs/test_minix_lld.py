@@ -1,0 +1,185 @@
+"""MINIX-LLD-specific behaviour: lists, crash recovery, i-node modes."""
+
+import pytest
+
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.fs.minix import LDStore, MinixFS, make_minix_lld
+from repro.lld import LLD, LLDConfig
+from repro.sim import VirtualClock
+
+
+def build(capacity_mb=32, **kw):
+    disk = SimulatedDisk(hp_c3010(capacity_mb=capacity_mb), VirtualClock())
+    lld = LLD(disk, LLDConfig(segment_size=128 * 1024, checkpoint_slots=1))
+    lld.initialize()
+    fs = make_minix_lld(lld, ninodes=1024, **kw)
+    return fs, lld
+
+
+def remount_after_crash(fs, lld):
+    lld.crash()
+    fresh_lld = LLD(lld.disk, lld.config)
+    fresh_lld.initialize()
+    fresh_fs = MinixFS(
+        LDStore(fresh_lld, cache_bytes=fs.store.cache.capacity_bytes),
+        readahead=False,
+    )
+    fresh_fs.mount()
+    return fresh_fs, fresh_lld
+
+
+def test_file_blocks_form_a_list():
+    fs, lld = build()
+    fd = fs.open("/f", create=True)
+    fs.write(fd, b"\x01" * (4096 * 3))
+    fs.close(fd)
+    lid = fs._iget(fs._resolve("/f")).lid
+    assert lid > 0
+    blocks = lld.list_blocks(lid)
+    assert len(blocks) == 3
+    # List order matches file order: zone of block 0 first.
+    inode = fs._iget(fs._resolve("/f"))
+    assert blocks == [inode.zones[0], inode.zones[1], inode.zones[2]]
+
+
+def test_single_list_configuration():
+    fs, lld = build(list_per_file=False)
+    fd = fs.open("/a", create=True)
+    fs.write(fd, b"a" * 4096)
+    fs.close(fd)
+    fd = fs.open("/b", create=True)
+    fs.write(fd, b"b" * 4096)
+    fs.close(fd)
+    # Both files' inodes share the single data list.
+    ino_a = fs._iget(fs._resolve("/a"))
+    ino_b = fs._iget(fs._resolve("/b"))
+    assert ino_a.lid == ino_b.lid
+
+
+def test_no_zone_bitmap_blocks():
+    """MINIX LLD drops the block bitmap (paper §4.1)."""
+    fs, _lld = build()
+    assert not hasattr(fs.store, "_zmap_start")
+
+
+def test_data_survives_crash_after_sync():
+    fs, lld = build()
+    fd = fs.open("/important", create=True)
+    fs.write(fd, b"must survive" * 100)
+    fs.close(fd)
+    fs.sync()
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    fd = fresh_fs.open("/important")
+    assert fresh_fs.read(fd, 10000) == b"must survive" * 100
+
+
+def test_unsynced_data_lost_after_crash():
+    fs, lld = build()
+    fd = fs.open("/synced", create=True)
+    fs.write(fd, b"old")
+    fs.close(fd)
+    fs.sync()
+    fd = fs.open("/unsynced", create=True)
+    fs.write(fd, b"new")
+    fs.close(fd)
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    assert fresh_fs.exists("/synced")
+    assert not fresh_fs.exists("/unsynced")
+
+
+def test_directory_tree_survives_crash():
+    fs, lld = build()
+    fs.mkdir("/a")
+    fs.mkdir("/a/b")
+    for i in range(10):
+        fd = fs.open(f"/a/b/f{i}", create=True)
+        fs.write(fd, bytes([i]) * 1000)
+        fs.close(fd)
+    fs.sync()
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    assert sorted(fresh_fs.readdir("/a/b")) == sorted(f"f{i}" for i in range(10))
+    fd = fresh_fs.open("/a/b/f7")
+    assert fresh_fs.read(fd, 1000) == bytes([7]) * 1000
+
+
+def test_deleting_file_deletes_its_list():
+    fs, lld = build()
+    fd = fs.open("/f", create=True)
+    fs.write(fd, b"\x02" * 8192)
+    fs.close(fd)
+    lid = fs._iget(fs._resolve("/f")).lid
+    lists_before = len(lld.state.lists)
+    fs.unlink("/f")
+    assert lid not in lld.state.lists
+    assert len(lld.state.lists) == lists_before - 1
+
+
+def test_delete_uses_predecessor_hints():
+    fs, lld = build()
+    fd = fs.open("/f", create=True)
+    fs.write(fd, b"\x03" * (4096 * 10))
+    fs.close(fd)
+    misses_before = lld.stats.hint_misses
+    fs.unlink("/f")
+    # Reverse-order freeing keeps every hint valid.
+    assert lld.stats.hint_misses == misses_before
+
+
+def test_small_inode_blocks_write_64_bytes():
+    fs, lld = build(inode_block_mode="small")
+    written_before = lld.stats.logical_bytes_written
+    fd = fs.open("/f", create=True)
+    fs.close(fd)
+    fs.sync()
+    # The i-node updates are 64-byte LD writes, not 4 KB blocks.
+    sizes = {
+        entry.length
+        for entry in lld.state.blocks.values()
+        if entry.length and entry.length <= 64
+    }
+    assert 64 in sizes
+
+
+def test_small_inode_mode_roundtrip():
+    fs, lld = build(inode_block_mode="small")
+    for i in range(20):
+        fd = fs.open(f"/f{i}", create=True)
+        fs.write(fd, bytes([i]) * 100)
+        fs.close(fd)
+    fs.sync()
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    assert fresh_fs.store.inode_block_mode == "small"
+    for i in range(20):
+        fd = fresh_fs.open(f"/f{i}")
+        assert fresh_fs.read(fd, 100) == bytes([i]) * 100
+
+
+def test_sync_maps_to_flush():
+    fs, lld = build()
+    fd = fs.open("/f", create=True)
+    fs.write(fd, b"x" * 4096)
+    fs.close(fd)
+    flushes_before = lld.stats.flushes
+    fs.sync()
+    assert lld.stats.flushes == flushes_before + 1
+
+
+def test_interlist_clustering_uses_directory_as_predecessor():
+    fs, lld = build()
+    fs.mkdir("/d")
+    dir_lid = fs._iget(fs._resolve("/d")).lid
+    fd = fs.open("/d/child", create=True)
+    fs.close(fd)
+    child_lid = fs._iget(fs._resolve("/d/child")).lid
+    order = lld.state.list_order
+    assert order.index(child_lid) == order.index(dir_lid) + 1
+
+
+def test_mount_rejects_foreign_ld():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=16), VirtualClock())
+    lld = LLD(disk, LLDConfig(segment_size=128 * 1024, checkpoint_slots=1))
+    lld.initialize()
+    store = LDStore(lld)
+    fs = MinixFS(store, readahead=False)
+    with pytest.raises(Exception):
+        fs.mount()

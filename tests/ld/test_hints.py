@@ -1,0 +1,39 @@
+"""Tests for list hints and sentinels."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ld import LIST_HEAD, ListHints
+
+
+def test_defaults_cluster_without_compression():
+    hints = ListHints()
+    assert hints.cluster
+    assert not hints.compress
+    assert hints.interlist_cluster
+
+
+def test_pack_unpack_roundtrip_defaults():
+    hints = ListHints()
+    assert ListHints.unpack(hints.pack()) == hints
+
+
+@given(st.booleans(), st.booleans(), st.booleans())
+def test_pack_unpack_roundtrip_all(cluster, compress, interlist):
+    hints = ListHints(cluster=cluster, compress=compress, interlist_cluster=interlist)
+    assert ListHints.unpack(hints.pack()) == hints
+
+
+def test_list_head_sentinel_is_negative():
+    # Must never collide with a real block/list id (those are >= 0).
+    assert LIST_HEAD < 0
+
+
+def test_hints_are_immutable():
+    hints = ListHints()
+    try:
+        hints.cluster = False
+        mutated = True
+    except AttributeError:
+        mutated = False
+    assert not mutated

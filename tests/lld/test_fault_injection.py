@@ -1,0 +1,179 @@
+"""Fault injection: torn writes, corrupted summaries, bad checkpoints.
+
+One-sweep recovery must degrade gracefully: a summary that fails its
+checksum is skipped (its segment's most recent records are lost, exactly
+as if the segment write never completed), everything else stays intact.
+"""
+
+import pytest
+
+from repro.ld import LIST_HEAD
+from repro.lld import LLD
+
+from tests.lld.conftest import make_lld, reopen
+
+
+def seal_with_block(lld, lid, payload):
+    """Write blocks until a segment seals; returns the bids written."""
+    bids = []
+    prev = LIST_HEAD
+    sealed_before = lld.stats.segments_sealed
+    while lld.stats.segments_sealed == sealed_before:
+        bid = lld.new_block(lid, prev)
+        lld.write(bid, payload)
+        bids.append(bid)
+        prev = bid
+    return bids
+
+
+def test_corrupted_summary_is_skipped_not_fatal():
+    lld = make_lld()
+    lid = lld.new_list()
+    first_batch = seal_with_block(lld, lid, b"\x51" * 4096)
+    second_batch = seal_with_block(lld, lid, b"\x52" * 4096)
+    lld.flush()
+    # Tear the most recently sealed segment's summary.
+    sealed_slots = sorted(
+        s for s in lld.state.summary_min_ts if s != lld.open_segment_index
+    )
+    victim = sealed_slots[-1]
+    lld.disk.corrupt(lld.layout.slot_lba(victim), 1)
+    recovered = reopen(lld)
+    # Recovery survives; blocks recorded in intact summaries are fine.
+    report = recovered.recovery_report
+    assert report is not None
+    assert report.summaries_valid < report.segments_scanned
+    survivors = [b for b in first_batch if b in recovered.state.blocks]
+    assert survivors, "fully intact older segments must survive"
+    for bid in survivors:
+        entry = recovered.state.blocks[bid]
+        if entry.segment >= 0 and entry.segment != victim:
+            # Location record intact: the data must be exact. (A block
+            # whose BLOCK record lived in the torn summary legitimately
+            # loses its contents — same as an incomplete segment write.)
+            assert recovered.read(bid) == b"\x51" * 4096
+
+
+def test_torn_write_of_open_segment():
+    """Crash mid-way through the final segment write: only that write is
+    lost; the previously flushed state is intact."""
+    lld = make_lld()
+    lid = lld.new_list()
+    written = seal_with_block(lld, lid, b"\x50" * 4096)
+    open_slot = lld.open_segment_index
+    # Blocks whose records live in *sealed* segments (the final block of
+    # the batch spilled into the open segment and shares its fate).
+    stable_bids = [
+        b for b in written if lld.state.blocks[b].segment != open_slot
+    ]
+    assert stable_bids
+
+    late = lld.new_block(lid, written[-1])
+    lld.write(late, b"late data")
+    lld.flush()
+    # Simulate the torn write: the flush's summary half-arrived.
+    lld.disk.corrupt(lld.layout.slot_lba(open_slot), 1)
+
+    recovered = reopen(lld)
+    # The spill block's LINK record was sealed before the tear, so it is
+    # still on the list — but its data (BLOCK record) was in the torn
+    # summary and is gone, exactly like an incomplete write.
+    assert recovered.list_blocks(lid) == written
+    for bid in stable_bids:
+        assert recovered.read(bid) == b"\x50" * 4096
+    spilled = written[-1]
+    assert recovered.state.blocks[spilled].segment < 0
+    assert recovered.read(spilled) == b""
+    assert late not in recovered.state.blocks
+
+
+def test_corrupted_checkpoint_falls_back_to_sweep():
+    lld = make_lld()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"resilient")
+    lld.shutdown()  # flush + checkpoint
+    lld.disk.corrupt(lld.layout.checkpoint_lba, 1)
+    fresh = LLD(lld.disk, lld.config)
+    fresh.initialize()
+    # Fallback to one-sweep recovery, data intact.
+    assert fresh.recovery_report is not None
+    assert fresh.read(bid) == b"resilient"
+    assert fresh.list_blocks(lid) == [bid]
+
+
+def test_corrupted_checkpoint_body_detected_by_crc():
+    lld = make_lld()
+    lid = lld.new_list()
+    # Enough state that the checkpoint image spans multiple sectors.
+    bids = []
+    prev = LIST_HEAD
+    for i in range(64):
+        bid = lld.new_block(lid, prev)
+        lld.write(bid, bytes([i]) * 256)
+        bids.append(bid)
+        prev = bid
+    lld.shutdown()
+    # Corrupt a sector inside the checkpoint body, not the header.
+    lld.disk.corrupt(lld.layout.checkpoint_lba + 1, 1)
+    fresh = LLD(lld.disk, lld.config)
+    fresh.initialize()
+    assert fresh.recovery_report is not None  # sweep, not the bad image
+    for i, bid in enumerate(bids):
+        assert fresh.read(bid) == bytes([i]) * 256
+
+
+def test_multiple_corrupted_summaries():
+    lld = make_lld()
+    lid = lld.new_list()
+    for _ in range(4):
+        seal_with_block(lld, lid, b"\x53" * 4096)
+    lld.flush()
+    for slot in list(lld.state.summary_min_ts)[:2]:
+        if slot != lld.open_segment_index:
+            lld.disk.corrupt(lld.layout.slot_lba(slot), 2)
+    recovered = reopen(lld)  # must not raise
+    assert recovered.recovery_report is not None
+    # The LD remains usable for new work.
+    new_lid = recovered.new_list()
+    new_bid = recovered.new_block(new_lid, LIST_HEAD)
+    recovered.write(new_bid, b"life goes on")
+    assert recovered.read(new_bid) == b"life goes on"
+
+
+def test_data_corruption_does_not_break_metadata():
+    """LD (like the paper's) has no data checksums: a corrupted data
+    sector yields wrong bytes, but the structures stay consistent."""
+    lld = make_lld()
+    lid = lld.new_list()
+    bids = seal_with_block(lld, lid, b"\x54" * 4096)
+    lld.flush()
+    entry = lld.state.blocks[bids[0]]
+    lba, _n, _skew = lld.layout.block_extent(
+        entry.segment, entry.offset, entry.stored_length
+    )
+    lld.disk.corrupt(lba, 1)
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == bids
+    corrupted = recovered.read(bids[0])
+    assert len(corrupted) == 4096  # structurally sound
+    assert corrupted != b"\x54" * 4096  # but the bytes are gone
+    assert recovered.read(bids[1]) == b"\x54" * 4096  # neighbours intact
+
+
+def test_whole_disk_corruption_yields_empty_ld():
+    lld = make_lld()
+    lid = lld.new_list()
+    seal_with_block(lld, lid, b"\x55" * 4096)
+    lld.flush()
+    for slot in range(lld.layout.segment_count):
+        lld.disk.corrupt(lld.layout.slot_lba(slot), lld.config.summary_sectors)
+    lld.disk.corrupt(lld.layout.checkpoint_lba, 1)
+    recovered = reopen(lld)
+    assert recovered.recovery_report.summaries_valid == 0
+    assert len(recovered.state.blocks) == 0
+    # mkfs-from-scratch still works on the wreckage.
+    fresh_lid = recovered.new_list()
+    bid = recovered.new_block(fresh_lid, LIST_HEAD)
+    recovered.write(bid, b"rebuilt")
+    assert recovered.read(bid) == b"rebuilt"

@@ -1,0 +1,179 @@
+"""Atomic recovery unit semantics: all-or-nothing across crashes."""
+
+import pytest
+
+from repro.ld import LIST_HEAD
+from repro.ld.errors import ARUError, NoSuchBlockError
+
+from tests.lld.conftest import make_lld, reopen
+
+
+def test_begin_end_basic():
+    lld = make_lld()
+    aru = lld.begin_aru()
+    assert aru > 0
+    assert lld.in_aru
+    lld.end_aru()
+    assert not lld.in_aru
+
+
+def test_nested_aru_rejected():
+    lld = make_lld()
+    lld.begin_aru()
+    with pytest.raises(ARUError):
+        lld.begin_aru()
+
+
+def test_end_without_begin_rejected():
+    lld = make_lld()
+    with pytest.raises(ARUError):
+        lld.end_aru()
+
+
+def test_shutdown_inside_aru_rejected():
+    lld = make_lld()
+    lld.begin_aru()
+    with pytest.raises(ARUError):
+        lld.shutdown()
+
+
+def test_committed_aru_survives_crash():
+    lld = make_lld()
+    lid = lld.new_list()
+    lld.begin_aru()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    lld.write(a, b"file data")
+    lld.write(b, b"directory entry")
+    lld.end_aru()
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == [a, b]
+    assert recovered.read(a) == b"file data"
+    assert recovered.read(b) == b"directory entry"
+
+
+def test_uncommitted_aru_discarded_on_crash():
+    """The create-file-and-update-directory example from paper §2.1."""
+    lld = make_lld()
+    lid = lld.new_list()
+    stable = lld.new_block(lid, LIST_HEAD)
+    lld.write(stable, b"pre-existing")
+    lld.flush()
+
+    lld.begin_aru()
+    doomed = lld.new_block(lid, stable)
+    lld.write(doomed, b"half-created file")
+    lld.flush()  # durable but NOT committed
+
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == [stable]
+    assert recovered.read(stable) == b"pre-existing"
+    with pytest.raises(NoSuchBlockError):
+        recovered.read(doomed)
+    assert recovered.recovery_report.arus_discarded == 1
+
+
+def test_uncommitted_overwrite_rolls_back():
+    lld = make_lld()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"version 1")
+    lld.flush()
+    lld.begin_aru()
+    lld.write(bid, b"version 2 (aborted)")
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.read(bid) == b"version 1"
+
+
+def test_uncommitted_delete_rolls_back():
+    lld = make_lld()
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    lld.write(a, b"A")
+    lld.write(b, b"B")
+    lld.flush()
+    lld.begin_aru()
+    lld.delete_block(a, lid)
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == [a, b]
+    assert recovered.read(a) == b"A"
+
+
+def test_sequential_arus_commit_independently():
+    lld = make_lld()
+    lid = lld.new_list()
+    lld.begin_aru()
+    a = lld.new_block(lid, LIST_HEAD)
+    lld.write(a, b"first")
+    lld.end_aru()
+    lld.begin_aru()
+    b = lld.new_block(lid, a)
+    lld.write(b, b"second (aborted)")
+    lld.flush()  # aru 2 never ends
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == [a]
+    assert recovered.read(a) == b"first"
+
+
+def test_aru_spanning_segment_seal():
+    """An ARU whose records span multiple segments still commits atomically."""
+    lld = make_lld()
+    lid = lld.new_list()
+    lld.begin_aru()
+    prev = LIST_HEAD
+    bids = []
+    for _ in range(40):  # crosses at least two 64 KB segments
+        bid = lld.new_block(lid, prev)
+        lld.write(bid, b"\x5a" * 4096)
+        bids.append(bid)
+        prev = bid
+    lld.end_aru()
+    lld.flush()
+    assert lld.stats.segments_sealed >= 2
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == bids
+
+
+def test_aru_spanning_segments_aborts_atomically():
+    lld = make_lld()
+    lid = lld.new_list()
+    keep = lld.new_block(lid, LIST_HEAD)
+    lld.write(keep, b"keep")
+    lld.flush()
+    lld.begin_aru()
+    prev = keep
+    for _ in range(40):
+        bid = lld.new_block(lid, prev)
+        lld.write(bid, b"\xa5" * 4096)
+        prev = bid
+    lld.flush()  # never committed
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == [keep]
+    assert recovered.read(keep) == b"keep"
+
+
+def test_operations_after_aborted_aru_survive():
+    """A later committed operation must not drag an aborted ARU with it."""
+    lld = make_lld()
+    lid = lld.new_list()
+    lld.begin_aru()
+    doomed = lld.new_block(lid, LIST_HEAD)
+    lld.write(doomed, b"doomed")
+    # Crash loses the in-memory ARU state; simulate an application that
+    # never calls end_aru but keeps using the LD after reopening.
+    lld.flush()
+    lld.crash()
+    from repro.lld import LLD
+
+    second = LLD(lld.disk, lld.config)
+    second.initialize()
+    later = second.new_block(lid, LIST_HEAD)
+    second.write(later, b"later")
+    second.flush()
+    recovered = reopen(second)
+    assert recovered.read(later) == b"later"
+    assert doomed not in recovered.state.blocks or recovered.read(doomed) != b"doomed"

@@ -1,0 +1,252 @@
+"""Basic LLD operation: blocks, lists, reads, writes."""
+
+import pytest
+
+from repro.ld import LIST_HEAD, ListHints
+from repro.ld.errors import LDError, NoSuchBlockError, NoSuchListError
+
+from tests.lld.conftest import make_lld
+
+
+def test_requires_initialize():
+    lld = make_lld()
+    lld.crash()
+    with pytest.raises(LDError):
+        lld.read(1)
+
+
+def test_double_initialize_rejected(lld):
+    with pytest.raises(LDError):
+        lld.initialize()
+
+
+def test_new_list_and_block(lld):
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    assert lld.list_blocks(lid) == [bid]
+
+
+def test_block_ids_are_distinct(lld):
+    lid = lld.new_list()
+    bids = {lld.new_block(lid, LIST_HEAD) for _ in range(50)}
+    assert len(bids) == 50
+
+
+def test_unwritten_block_reads_empty(lld):
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    assert lld.read(bid) == b""
+
+
+def test_write_read_roundtrip(lld):
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"hello world")
+    assert lld.read(bid) == b"hello world"
+
+
+def test_overwrite_replaces_content(lld):
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"old")
+    lld.write(bid, b"new content")
+    assert lld.read(bid) == b"new content"
+
+
+def test_variable_block_sizes(lld):
+    """LD supports multiple block sizes (64-byte i-nodes to 4 KB data)."""
+    lid = lld.new_list()
+    tiny = lld.new_block(lid, LIST_HEAD)
+    big = lld.new_block(lid, tiny)
+    lld.write(tiny, b"i" * 64)
+    lld.write(big, b"d" * 4096)
+    assert lld.read(tiny) == b"i" * 64
+    assert lld.read(big) == b"d" * 4096
+
+
+def test_oversized_block_rejected(lld):
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    with pytest.raises(ValueError):
+        lld.write(bid, b"x" * (lld.config.block_size + 1))
+
+
+def test_read_unknown_block(lld):
+    with pytest.raises(NoSuchBlockError):
+        lld.read(9999)
+
+
+def test_write_unknown_block(lld):
+    with pytest.raises(NoSuchBlockError):
+        lld.write(9999, b"data")
+
+
+def test_unknown_list(lld):
+    with pytest.raises(NoSuchListError):
+        lld.new_block(777, LIST_HEAD)
+    with pytest.raises(NoSuchListError):
+        lld.list_blocks(777)
+
+
+def test_insert_after_predecessor(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    c = lld.new_block(lid, a)  # inserts between a and b
+    assert lld.list_blocks(lid) == [a, c, b]
+
+
+def test_insert_at_head(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, LIST_HEAD)
+    assert lld.list_blocks(lid) == [b, a]
+
+
+def test_delete_block_middle(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    c = lld.new_block(lid, b)
+    lld.delete_block(b, lid)
+    assert lld.list_blocks(lid) == [a, c]
+    with pytest.raises(NoSuchBlockError):
+        lld.read(b)
+
+
+def test_delete_block_head(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    lld.delete_block(a, lid)
+    assert lld.list_blocks(lid) == [b]
+
+
+def test_delete_with_correct_hint_counts_hit(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    lld.delete_block(b, lid, pred_bid_hint=a)
+    assert lld.stats.hint_hits == 1
+    assert lld.stats.hint_misses == 0
+
+
+def test_delete_with_stale_hint_falls_back(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    c = lld.new_block(lid, b)
+    lld.delete_block(c, lid, pred_bid_hint=a)  # wrong: pred is b
+    assert lld.list_blocks(lid) == [a, b]
+    assert lld.stats.hint_misses == 1
+
+
+def test_delete_list_frees_blocks(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    lld.write(a, b"A" * 100)
+    lld.delete_list(lid)
+    with pytest.raises(NoSuchListError):
+        lld.list_blocks(lid)
+    with pytest.raises(NoSuchBlockError):
+        lld.read(a)
+    with pytest.raises(NoSuchBlockError):
+        lld.read(b)
+
+
+def test_multiple_lists_are_independent(lld):
+    l1 = lld.new_list()
+    l2 = lld.new_list()
+    a = lld.new_block(l1, LIST_HEAD)
+    b = lld.new_block(l2, LIST_HEAD)
+    assert lld.list_blocks(l1) == [a]
+    assert lld.list_blocks(l2) == [b]
+    lld.delete_list(l1)
+    assert lld.list_blocks(l2) == [b]
+
+
+def test_reads_served_from_open_segment_cost_no_disk_io(lld):
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"fresh" * 100)
+    reads_before = lld.disk.stats.reads
+    assert lld.read(bid) == b"fresh" * 100
+    assert lld.disk.stats.reads == reads_before
+    assert lld.stats.memory_reads == 1
+
+
+def test_reads_hit_disk_after_seal(lld):
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    payload = b"sealed!!" * 512  # 4 KB
+    lld.write(bid, payload)
+    # Fill the segment to force a seal.
+    filler = lld.new_block(lid, bid)
+    for _ in range(20):
+        lld.write(filler, b"\xaa" * 4096)
+    assert lld.stats.segments_sealed >= 1
+    reads_before = lld.disk.stats.reads
+    assert lld.read(bid) == payload
+    assert lld.disk.stats.reads == reads_before + 1
+
+
+def test_move_sublist_between_lists(lld):
+    src = lld.new_list()
+    dst = lld.new_list()
+    a = lld.new_block(src, LIST_HEAD)
+    b = lld.new_block(src, a)
+    c = lld.new_block(src, b)
+    d = lld.new_block(dst, LIST_HEAD)
+    lld.move_sublist(b, c, src, dst, d)
+    assert lld.list_blocks(src) == [a]
+    assert lld.list_blocks(dst) == [d, b, c]
+
+
+def test_move_sublist_to_head(lld):
+    src = lld.new_list()
+    dst = lld.new_list()
+    a = lld.new_block(src, LIST_HEAD)
+    d = lld.new_block(dst, LIST_HEAD)
+    lld.move_sublist(a, a, src, dst, LIST_HEAD)
+    assert lld.list_blocks(src) == []
+    assert lld.list_blocks(dst) == [a, d]
+
+
+def test_move_sublist_within_list(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    c = lld.new_block(lid, b)
+    lld.move_sublist(c, c, lid, lid, a)
+    assert lld.list_blocks(lid) == [a, c, b]
+
+
+def test_move_sublist_rejects_pred_inside_chain(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    with pytest.raises(ValueError):
+        lld.move_sublist(a, b, lid, lid, b)
+
+
+def test_move_list_reorders_list_of_lists(lld):
+    l1 = lld.new_list()
+    l2 = lld.new_list(pred_lid=l1)
+    l3 = lld.new_list(pred_lid=l2)
+    assert lld.state.list_order == [l1, l2, l3]
+    lld.move_list(l3, LIST_HEAD)
+    assert lld.state.list_order == [l3, l1, l2]
+    lld.move_list(l1, l2)
+    assert lld.state.list_order == [l3, l2, l1]
+
+
+def test_new_list_inserts_after_predecessor(lld):
+    l1 = lld.new_list()
+    l2 = lld.new_list()
+    l3 = lld.new_list(pred_lid=l1)
+    assert lld.state.list_order.index(l1) + 1 == lld.state.list_order.index(l3)
+
+
+def test_repr_smoke(lld):
+    assert "LLD" in repr(lld)

@@ -1,0 +1,366 @@
+"""Tests for the paper's §5.4/§5.3 extensions: SwapContents, concurrent
+ARUs, offset addressing, and NVRAM absorption of partial segments."""
+
+import pytest
+
+from repro.ld import LIST_HEAD
+from repro.ld.errors import ARUError, LDError, NoSuchBlockError
+from repro.lld import LLD, NVRAM
+
+from tests.lld.conftest import make_lld, reopen, small_config
+
+
+# ----------------------------------------------------------------------
+# SwapContents (§5.4)
+# ----------------------------------------------------------------------
+
+
+def two_written_blocks(lld):
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    lld.write(a, b"contents A" * 50)
+    lld.write(b, b"contents B" * 99)
+    return lid, a, b
+
+
+def test_swap_contents_basic():
+    lld = make_lld()
+    _lid, a, b = two_written_blocks(lld)
+    lld.swap_contents(a, b)
+    assert lld.read(a) == b"contents B" * 99
+    assert lld.read(b) == b"contents A" * 50
+
+
+def test_swap_is_involution():
+    lld = make_lld()
+    _lid, a, b = two_written_blocks(lld)
+    lld.swap_contents(a, b)
+    lld.swap_contents(a, b)
+    assert lld.read(a) == b"contents A" * 50
+    assert lld.read(b) == b"contents B" * 99
+
+
+def test_swap_survives_crash():
+    lld = make_lld()
+    _lid, a, b = two_written_blocks(lld)
+    lld.swap_contents(a, b)
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.read(a) == b"contents B" * 99
+    assert recovered.read(b) == b"contents A" * 50
+
+
+def test_swap_preserves_usage_accounting():
+    lld = make_lld()
+    _lid, a, b = two_written_blocks(lld)
+    live_before = lld.state.live_bytes()
+    lld.swap_contents(a, b)
+    assert lld.state.live_bytes() == live_before
+
+
+def test_swap_multiversion_install():
+    """The §5.4 use case: install a new version atomically, keep the old."""
+    lld = make_lld()
+    lid = lld.new_list()
+    current = lld.new_block(lid, LIST_HEAD)
+    shadow = lld.new_block(lid, current)
+    lld.write(current, b"version 1")
+    lld.flush()
+    # Prepare version 2 in the shadow block, then install it atomically.
+    lld.write(shadow, b"version 2")
+    lld.swap_contents(current, shadow)
+    assert lld.read(current) == b"version 2"
+    assert lld.read(shadow) == b"version 1"  # old version retained
+
+
+def test_swap_same_block_rejected():
+    lld = make_lld()
+    _lid, a, _b = two_written_blocks(lld)
+    with pytest.raises(ValueError):
+        lld.swap_contents(a, a)
+
+
+def test_swap_unwritten_block_rejected():
+    lld = make_lld()
+    lid = lld.new_list()
+    a = lld.new_block(lid, LIST_HEAD)
+    b = lld.new_block(lid, a)
+    lld.write(a, b"data")
+    with pytest.raises(LDError):
+        lld.swap_contents(a, b)
+
+
+def test_swap_inside_uncommitted_aru_rolls_back():
+    lld = make_lld()
+    _lid, a, b = two_written_blocks(lld)
+    lld.flush()
+    lld.begin_aru()
+    lld.swap_contents(a, b)
+    lld.flush()  # durable, never committed
+    recovered = reopen(lld)
+    assert recovered.read(a) == b"contents A" * 50
+    assert recovered.read(b) == b"contents B" * 99
+
+
+def test_swap_compressed_with_plain():
+    from repro.compress.data import compressible_bytes
+    from repro.ld import ListHints
+
+    lld = make_lld()
+    packed_lid = lld.new_list(hints=ListHints(compress=True))
+    plain_lid = lld.new_list()
+    a = lld.new_block(packed_lid, LIST_HEAD)
+    b = lld.new_block(plain_lid, LIST_HEAD)
+    data_a = compressible_bytes(4000, ratio=0.6, seed=51)
+    data_b = b"\x9a" * 3000
+    lld.write(a, data_a)
+    lld.write(b, data_b)
+    assert lld.state.blocks[a].compressed
+    lld.swap_contents(a, b)
+    assert lld.read(a) == data_b
+    assert lld.read(b) == data_a
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.read(a) == data_b
+    assert recovered.read(b) == data_a
+
+
+# ----------------------------------------------------------------------
+# Concurrent ARUs (§5.4)
+# ----------------------------------------------------------------------
+
+
+def test_aru_context_manager_commits():
+    lld = make_lld()
+    lid = lld.new_list()
+    with lld.aru() as aru:
+        assert aru > 0
+        bid = lld.new_block(lid, LIST_HEAD)
+        lld.write(bid, b"committed by context exit")
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.read(bid) == b"committed by context exit"
+
+
+def test_aru_context_manager_exception_aborts():
+    lld = make_lld()
+    lid = lld.new_list()
+    stable = lld.new_block(lid, LIST_HEAD)
+    lld.write(stable, b"stable")
+    lld.flush()
+    with pytest.raises(RuntimeError):
+        with lld.aru():
+            doomed = lld.new_block(lid, stable)
+            lld.write(doomed, b"doomed")
+            raise RuntimeError("application error mid-transaction")
+    assert lld.open_aru_count == 0
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.list_blocks(lid) == [stable]
+
+
+def test_nested_arus_commit_independently():
+    lld = make_lld()
+    lid = lld.new_list()
+    with lld.aru():
+        outer_bid = lld.new_block(lid, LIST_HEAD)
+        lld.write(outer_bid, b"outer")
+        with lld.aru():
+            inner_bid = lld.new_block(lid, outer_bid)
+            lld.write(inner_bid, b"inner")
+    lld.flush()
+    recovered = reopen(lld)
+    assert recovered.read(outer_bid) == b"outer"
+    assert recovered.read(inner_bid) == b"inner"
+
+
+def test_inner_aru_commits_even_if_outer_aborts():
+    """Concurrent ARUs are independent: the inner commit stands alone."""
+    lld = make_lld()
+    lid = lld.new_list()
+    anchor = lld.new_block(lid, LIST_HEAD)
+    lld.write(anchor, b"anchor")
+    lld.flush()
+    try:
+        with lld.aru():
+            outer_bid = lld.new_block(lid, anchor)
+            lld.write(outer_bid, b"outer, aborted")
+            with lld.aru():
+                inner_bid = lld.new_block(lid, anchor)
+                lld.write(inner_bid, b"inner, committed")
+            raise RuntimeError("outer aborts after inner committed")
+    except RuntimeError:
+        pass
+    lld.flush()
+    recovered = reopen(lld)
+    assert inner_bid in recovered.state.blocks
+    assert recovered.read(inner_bid) == b"inner, committed"
+    assert outer_bid not in recovered.state.blocks
+
+
+def test_begin_aru_still_serial():
+    """The paper-compatible begin/end API remains strictly serial."""
+    lld = make_lld()
+    lld.begin_aru()
+    with pytest.raises(ARUError):
+        lld.begin_aru()
+    lld.end_aru()
+    with pytest.raises(ARUError):
+        lld.end_aru()
+
+
+def test_open_aru_count_tracks():
+    lld = make_lld()
+    assert lld.open_aru_count == 0
+    lld.begin_aru()
+    assert lld.open_aru_count == 1
+    lld.end_aru()
+    assert lld.open_aru_count == 0
+
+
+# ----------------------------------------------------------------------
+# Offset addressing (§5.4)
+# ----------------------------------------------------------------------
+
+
+def test_block_at_indexes_lists():
+    lld = make_lld()
+    lid = lld.new_list()
+    bids = []
+    prev = LIST_HEAD
+    for _ in range(10):
+        bid = lld.new_block(lid, prev)
+        bids.append(bid)
+        prev = bid
+    for i in range(10):
+        assert lld.block_at(lid, i) == bids[i]
+    assert lld.list_length(lid) == 10
+
+
+def test_block_at_out_of_range():
+    lld = make_lld()
+    lid = lld.new_list()
+    lld.new_block(lid, LIST_HEAD)
+    with pytest.raises(IndexError):
+        lld.block_at(lid, 5)
+    with pytest.raises(IndexError):
+        lld.block_at(lid, -1)
+
+
+def test_offset_addressing_replaces_indirect_blocks():
+    """§5.4: address file blocks by offset in the file's list — no
+    indirect blocks needed."""
+    lld = make_lld()
+    file_list = lld.new_list()
+    prev = LIST_HEAD
+    for i in range(20):
+        bid = lld.new_block(file_list, prev)
+        lld.write(bid, bytes([i]) * 512)
+        prev = bid
+    # "Read file block 13" without any indirect-block lookups:
+    assert lld.read(lld.block_at(file_list, 13)) == bytes([13]) * 512
+
+
+# ----------------------------------------------------------------------
+# NVRAM (§5.3)
+# ----------------------------------------------------------------------
+
+
+def make_lld_with_nvram(capacity_bytes=512 * 1024):
+    from repro.disk import SimulatedDisk, fast_test_disk
+    from repro.sim import VirtualClock
+
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+    nvram = NVRAM(capacity_bytes=capacity_bytes)
+    lld = LLD(disk, small_config(), nvram=nvram)
+    lld.initialize()
+    return lld, nvram
+
+
+def test_nvram_absorbs_partial_flush():
+    lld, nvram = make_lld_with_nvram()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"\x11" * 4096)
+    writes_before = lld.disk.stats.writes
+    lld.flush()
+    assert lld.disk.stats.writes == writes_before  # no disk write!
+    assert lld.stats.nvram_absorbed == 1
+    assert lld.stats.partial_segment_writes == 0
+    assert nvram.holds_data
+
+
+def test_nvram_content_survives_crash():
+    lld, nvram = make_lld_with_nvram()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"battery backed" * 100)
+    lld.flush()  # into NVRAM only
+    lld.crash()
+    recovered = LLD(lld.disk, lld.config, nvram=nvram)
+    recovered.initialize()
+    assert recovered.read(bid) == b"battery backed" * 100
+    assert recovered.list_blocks(lid) == [bid]
+
+
+def test_nvram_cleared_when_segment_seals():
+    lld, nvram = make_lld_with_nvram()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"\x22" * 4096)
+    lld.flush()
+    assert nvram.holds_data
+    prev = bid
+    while lld.stats.segments_sealed == 0:
+        bid2 = lld.new_block(lid, prev)
+        lld.write(bid2, b"\x33" * 4096)
+        prev = bid2
+    assert not nvram.holds_data  # disk copy superseded it
+
+
+def test_nvram_too_small_falls_back_to_disk():
+    lld, nvram = make_lld_with_nvram(capacity_bytes=2048)
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"\x44" * 4096)
+    writes_before = lld.disk.stats.writes
+    lld.flush()
+    assert lld.disk.stats.writes == writes_before + 1  # normal partial write
+    assert nvram.overflows == 1
+    assert lld.stats.partial_segment_writes == 1
+
+
+def test_nvram_reduces_disk_writes_on_sync_heavy_workload():
+    """The §5.3 claim: NVRAM removes most partial-segment disk writes."""
+
+    def run(nvram):
+        from repro.disk import SimulatedDisk, fast_test_disk
+        from repro.sim import VirtualClock
+
+        disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+        lld = LLD(disk, small_config(), nvram=nvram)
+        lld.initialize()
+        lid = lld.new_list()
+        prev = LIST_HEAD
+        for i in range(30):
+            bid = lld.new_block(lid, prev)
+            lld.write(bid, bytes([i]) * 2048)
+            lld.flush()  # sync-heavy application
+            prev = bid
+        return disk.stats.writes
+
+    without = run(None)
+    with_nvram = run(NVRAM(capacity_bytes=512 * 1024))
+    assert with_nvram < without * 0.5
+
+
+def test_nvram_with_clean_shutdown():
+    lld, nvram = make_lld_with_nvram()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"shutdown path")
+    lld.shutdown()  # flush absorbs into NVRAM, checkpoint references it
+    fresh = LLD(lld.disk, lld.config, nvram=nvram)
+    fresh.initialize()
+    assert fresh.read(bid) == b"shutdown path"

@@ -1,0 +1,185 @@
+"""Property-based tests: LLD against a pure-Python model.
+
+A random sequence of LD operations is applied both to LLD and to a trivial
+in-memory model. Invariants:
+
+* after every operation the visible state (list contents, block data)
+  matches the model;
+* after flush + crash + recovery, the recovered state matches the model
+  exactly;
+* a clean shutdown/startup round-trip also matches.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ld import LIST_HEAD
+
+from tests.lld.conftest import make_lld, reopen
+
+
+class Model:
+    """The obviously-correct in-memory reference."""
+
+    def __init__(self) -> None:
+        self.lists: dict[int, list[int]] = {}
+        self.data: dict[int, bytes] = {}
+
+    def new_list(self, lid: int) -> None:
+        self.lists[lid] = []
+
+    def new_block(self, lid: int, pred: int | None, bid: int) -> None:
+        chain = self.lists[lid]
+        if pred is None:
+            chain.insert(0, bid)
+        else:
+            chain.insert(chain.index(pred) + 1, bid)
+        self.data[bid] = b""
+
+    def write(self, bid: int, payload: bytes) -> None:
+        self.data[bid] = payload
+
+    def delete_block(self, lid: int, bid: int) -> None:
+        self.lists[lid].remove(bid)
+        del self.data[bid]
+
+    def delete_list(self, lid: int) -> None:
+        for bid in self.lists.pop(lid):
+            del self.data[bid]
+
+
+# Operation encoding for hypothesis: a list of (op, arg1, arg2) tuples with
+# indices resolved modulo the live population at execution time.
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["new_list", "new_block", "write", "delete_block", "delete_list"]),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_ops(lld, model: Model, operations) -> None:
+    for op, index, value in operations:
+        lids = sorted(model.lists)
+        if op == "new_list" or not lids:
+            lid = lld.new_list()
+            model.new_list(lid)
+            continue
+        lid = lids[index % len(lids)]
+        chain = model.lists[lid]
+        if op == "new_block":
+            if chain and value % 2 == 0:
+                pred = chain[index % len(chain)]
+                bid = lld.new_block(lid, pred)
+                model.new_block(lid, pred, bid)
+            else:
+                bid = lld.new_block(lid, LIST_HEAD)
+                model.new_block(lid, None, bid)
+        elif op == "write":
+            if not chain:
+                continue
+            bid = chain[index % len(chain)]
+            payload = bytes([value]) * ((value % 16 + 1) * 64)
+            lld.write(bid, payload)
+            model.write(bid, payload)
+        elif op == "delete_block":
+            if not chain:
+                continue
+            bid = chain[index % len(chain)]
+            lld.delete_block(bid, lid)
+            model.delete_block(lid, bid)
+        elif op == "delete_list":
+            lld.delete_list(lid)
+            model.delete_list(lid)
+
+
+def check_matches(lld, model: Model) -> None:
+    for lid, chain in model.lists.items():
+        assert lld.list_blocks(lid) == chain
+    for bid, payload in model.data.items():
+        assert lld.read(bid) == payload
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops)
+def test_visible_state_matches_model(operations):
+    lld = make_lld()
+    model = Model()
+    run_ops(lld, model, operations)
+    check_matches(lld, model)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops)
+def test_flush_crash_recover_matches_model(operations):
+    lld = make_lld()
+    model = Model()
+    run_ops(lld, model, operations)
+    lld.flush()
+    recovered = reopen(lld)
+    check_matches(recovered, model)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops)
+def test_clean_shutdown_matches_model(operations):
+    lld = make_lld()
+    model = Model()
+    run_ops(lld, model, operations)
+    fresh = reopen(lld, after_crash=False)
+    check_matches(fresh, model)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops, ops)
+def test_recover_then_continue(operations, more_operations):
+    """Recovery must leave the LD fully usable for further operations."""
+    lld = make_lld()
+    model = Model()
+    run_ops(lld, model, operations)
+    lld.flush()
+    recovered = reopen(lld)
+    run_ops(recovered, model, more_operations)
+    check_matches(recovered, model)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops)
+def test_aborted_aru_leaves_model_state(operations):
+    """Everything inside an unfinished ARU disappears; nothing else does."""
+    lld = make_lld()
+    model = Model()
+    run_ops(lld, model, operations)
+    lld.flush()
+    lld.begin_aru()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"inside aborted aru")
+    lld.flush()
+    recovered = reopen(lld)
+    check_matches(recovered, model)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops)
+def test_usage_table_consistent_with_blocks(operations):
+    """The segment usage table equals the sum of live stored lengths."""
+    lld = make_lld()
+    model = Model()
+    run_ops(lld, model, operations)
+    per_segment: dict[int, int] = {}
+    for bid, entry in lld.state.blocks.items():
+        if entry.segment >= 0:
+            per_segment[entry.segment] = (
+                per_segment.get(entry.segment, 0) + entry.stored_length
+            )
+    for segment, expected in per_segment.items():
+        assert lld.state.usage.get(segment, 0) == expected
+    for segment, used in lld.state.usage.items():
+        assert used == per_segment.get(segment, 0)

@@ -1,0 +1,111 @@
+"""Space accounting and reservation primitives (paper section 2.2)."""
+
+import pytest
+
+from repro.ld import LIST_HEAD
+from repro.ld.errors import OutOfSpaceError, ReservationError
+
+from tests.lld.conftest import make_lld
+
+
+def test_reserve_and_consume():
+    lld = make_lld()
+    lid = lld.new_list()
+    reservation = lld.reserve_blocks(3)
+    assert reservation.blocks == 3
+    for _ in range(3):
+        bid = lld.new_block(lid, LIST_HEAD, reservation=reservation)
+        lld.write(bid, b"\x01" * 4096)
+    assert reservation.blocks == 0
+
+
+def test_consume_beyond_reservation_rejected():
+    lld = make_lld()
+    lid = lld.new_list()
+    reservation = lld.reserve_blocks(1)
+    lld.new_block(lid, LIST_HEAD, reservation=reservation)
+    with pytest.raises(ReservationError):
+        lld.new_block(lid, LIST_HEAD, reservation=reservation)
+
+
+def test_cancel_returns_space():
+    lld = make_lld()
+    before = lld._free_bytes()
+    reservation = lld.reserve_blocks(10)
+    assert lld._free_bytes() == before - 10 * lld.config.block_size
+    lld.cancel_reservation(reservation)
+    assert lld._free_bytes() == before
+
+
+def test_cancel_unknown_reservation_rejected():
+    lld = make_lld()
+    reservation = lld.reserve_blocks(1)
+    lld.cancel_reservation(reservation)
+    with pytest.raises(ReservationError):
+        lld.cancel_reservation(reservation)
+
+
+def test_zero_reservation_rejected():
+    lld = make_lld()
+    with pytest.raises(ReservationError):
+        lld.reserve_blocks(0)
+
+
+def test_overlarge_reservation_rejected():
+    lld = make_lld(capacity_mb=2)
+    blocks = lld.layout.capacity_bytes // lld.config.block_size
+    with pytest.raises(OutOfSpaceError):
+        lld.reserve_blocks(blocks + 10)
+
+
+def test_reservation_guards_against_later_writers():
+    """The reservation's purpose: a write that was promised cannot fail."""
+    lld = make_lld(capacity_mb=2)
+    lid = lld.new_list()
+    usable = lld._free_bytes()
+    keep = 8
+    reservation = lld.reserve_blocks(keep)
+    # A greedy writer consumes everything that is left...
+    prev = LIST_HEAD
+    try:
+        for _ in range(10000):
+            bid = lld.new_block(lid, prev)
+            lld.write(bid, b"\xaa" * 4096)
+            prev = bid
+    except OutOfSpaceError:
+        pass
+    # ...but the reserved blocks still succeed.
+    for _ in range(keep):
+        bid = lld.new_block(lid, LIST_HEAD, reservation=reservation)
+        lld.write(bid, b"\xbb" * 4096)
+        assert lld.read(bid) == b"\xbb" * 4096
+
+
+def test_free_bytes_decrease_with_writes():
+    lld = make_lld()
+    lid = lld.new_list()
+    before = lld._free_bytes()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"\x01" * 4096)
+    assert lld._free_bytes() == before - 4096
+
+
+def test_overwrite_does_not_leak_space():
+    lld = make_lld()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"\x01" * 4096)
+    after_first = lld._free_bytes()
+    for _ in range(50):
+        lld.write(bid, b"\x02" * 4096)
+    assert lld._free_bytes() == after_first
+
+
+def test_delete_returns_space():
+    lld = make_lld()
+    lid = lld.new_list()
+    before = lld._free_bytes()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"\x03" * 4096)
+    lld.delete_block(bid, lid)
+    assert lld._free_bytes() == before

@@ -1,0 +1,154 @@
+"""Tests for segment summaries, layout math, and the open segment buffer."""
+
+import pytest
+
+from repro.disk import SimulatedDisk, fast_test_disk
+from repro.lld.config import LLDConfig
+from repro.lld.records import BlockRecord, LinkRecord
+from repro.lld.segment import (
+    DiskLayout,
+    OpenSegment,
+    parse_summary,
+    serialize_summary,
+)
+from repro.sim import VirtualClock
+
+
+def config():
+    return LLDConfig(
+        segment_size=64 * 1024,
+        summary_capacity=4096,
+        block_size=4096,
+        checkpoint_slots=1,
+    )
+
+
+def test_serialize_parse_empty():
+    image = serialize_summary([], 4096)
+    assert len(image) == 4096
+    assert parse_summary(image) == []
+
+
+def test_serialize_parse_records():
+    records = [LinkRecord(bid=i, successor=i + 1) for i in range(10)]
+    for i, r in enumerate(records):
+        r.timestamp = i + 1
+    parsed = parse_summary(serialize_summary(records, 4096))
+    assert parsed is not None
+    assert [r.bid for r in parsed] == list(range(10))
+    assert [r.timestamp for r in parsed] == list(range(1, 11))
+
+
+def test_parse_rejects_garbage():
+    assert parse_summary(b"\x00" * 4096) is None
+    assert parse_summary(b"junk" + b"\x01" * 100) is None
+    assert parse_summary(b"") is None
+
+
+def test_parse_rejects_corrupted_body():
+    image = bytearray(serialize_summary([LinkRecord(bid=7)], 4096))
+    image[20] ^= 0xFF  # flip a bit inside the body
+    assert parse_summary(bytes(image)) is None
+
+
+def test_serialize_overflow_raises():
+    records = [BlockRecord(bid=i) for i in range(1000)]
+    with pytest.raises(ValueError):
+        serialize_summary(records, 4096)
+
+
+def test_layout_segment_count():
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+    layout = DiskLayout(disk, config())
+    # 4 MB disk, 64 KB segments, 1 checkpoint slot -> about 62 slots.
+    assert 55 <= layout.segment_count <= 63
+
+
+def test_layout_slot_lba_monotonic():
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+    layout = DiskLayout(disk, config())
+    lbas = [layout.slot_lba(i) for i in range(layout.segment_count)]
+    assert lbas == sorted(lbas)
+    assert lbas[0] == layout.checkpoint_sectors
+
+
+def test_layout_rejects_tiny_disk():
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=16), VirtualClock())
+    big = LLDConfig(segment_size=8 * 1024 * 1024, summary_capacity=4096, checkpoint_slots=1)
+    with pytest.raises(ValueError):
+        DiskLayout(disk, big)
+
+
+def test_block_extent_sector_math():
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+    layout = DiskLayout(disk, config())
+    lba, nsectors, skew = layout.block_extent(0, 0, 4096)
+    assert skew == 0
+    assert nsectors == 8
+    assert lba == layout.slot_lba(0) + config().summary_sectors
+
+
+def test_block_extent_misaligned_small_block():
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+    layout = DiskLayout(disk, config())
+    # A 64-byte i-node at offset 100 still costs a whole sector.
+    lba, nsectors, skew = layout.block_extent(0, 100, 64)
+    assert nsectors == 1
+    assert skew == 100
+
+
+def test_open_segment_append_and_read():
+    seg = OpenSegment(3, config())
+    offset = seg.append_data(b"abc" * 100)
+    assert offset == 0
+    assert seg.read_data(0, 300) == b"abc" * 100
+    second = seg.append_data(b"x" * 10)
+    assert second == 300
+    assert seg.used == 310
+
+
+def test_open_segment_fill_fraction():
+    cfg = config()
+    seg = OpenSegment(0, cfg)
+    seg.append_data(b"\x01" * (cfg.data_capacity // 2))
+    assert seg.fill_fraction == pytest.approx(0.5)
+
+
+def test_open_segment_data_overflow():
+    cfg = config()
+    seg = OpenSegment(0, cfg)
+    with pytest.raises(ValueError):
+        seg.append_data(b"\x01" * (cfg.data_capacity + 1))
+
+
+def test_open_segment_summary_overflow():
+    cfg = config()
+    seg = OpenSegment(0, cfg)
+    record = LinkRecord(bid=1)
+    while seg.fits(0, record.packed_size):
+        seg.append_record(LinkRecord(bid=1))
+    with pytest.raises(ValueError):
+        seg.append_record(LinkRecord(bid=1))
+
+
+def test_open_segment_image_roundtrips_summary():
+    cfg = config()
+    seg = OpenSegment(0, cfg)
+    rec = LinkRecord(bid=5, successor=None)
+    rec.timestamp = 9
+    seg.append_record(rec)
+    seg.append_data(b"payload!" * 64)
+    image = seg.image()
+    assert len(image) % 512 == 0
+    parsed = parse_summary(image[: cfg.summary_capacity])
+    assert parsed is not None and parsed[0].bid == 5
+
+
+def test_min_timestamp():
+    seg = OpenSegment(0, config())
+    assert seg.min_timestamp() is None
+    for ts in (7, 3, 9):
+        rec = LinkRecord(bid=1)
+        rec.timestamp = ts
+        seg.append_record(rec)
+    assert seg.min_timestamp() == 3

@@ -1,0 +1,66 @@
+"""Unit tests for the bandwidth/pipeline cost model."""
+
+import pytest
+
+from repro.sim import BandwidthModel, VirtualClock
+
+
+def test_duration_is_bytes_over_bandwidth():
+    model = BandwidthModel(VirtualClock(), 1000.0)
+    assert model.duration(500) == pytest.approx(0.5)
+
+
+def test_charge_advances_clock():
+    clock = VirtualClock()
+    model = BandwidthModel(clock, 1000.0)
+    model.charge(2000)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_negative_bytes_rejected():
+    model = BandwidthModel(VirtualClock(), 1000.0)
+    with pytest.raises(ValueError):
+        model.duration(-1)
+
+
+def test_nonpositive_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        BandwidthModel(VirtualClock(), 0.0)
+
+
+def test_pipelined_charge_does_not_block_when_stage_free():
+    clock = VirtualClock()
+    model = BandwidthModel(clock, 1000.0)
+    waited = model.charge_pipelined(1000)
+    # Stage was free: work is queued, caller does not wait.
+    assert waited == 0.0
+    assert clock.now == 0.0
+    assert model.stage_backlog() == pytest.approx(1.0)
+
+
+def test_pipelined_charge_blocks_when_stage_busy():
+    clock = VirtualClock()
+    model = BandwidthModel(clock, 1000.0)
+    model.charge_pipelined(1000)  # stage busy until t=1.0
+    waited = model.charge_pipelined(1000)  # must wait for the first item
+    assert waited == pytest.approx(1.0)
+    assert clock.now == pytest.approx(1.0)
+
+
+def test_pipeline_drains_with_elapsed_time():
+    clock = VirtualClock()
+    model = BandwidthModel(clock, 1000.0)
+    model.charge_pipelined(1000)
+    clock.advance(2.0)  # other work overlaps the stage completely
+    waited = model.charge_pipelined(1000)
+    assert waited == 0.0
+
+
+def test_wait_for_stage():
+    clock = VirtualClock()
+    model = BandwidthModel(clock, 1000.0)
+    model.charge_pipelined(3000)
+    backlog = model.wait_for_stage()
+    assert backlog == pytest.approx(3.0)
+    assert clock.now == pytest.approx(3.0)
+    assert model.stage_backlog() == 0.0

@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; a refactor that breaks
+one should fail the suite, not a user.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    args = [sys.executable, str(script)]
+    if script.name == "microbenchmarks.py":
+        args.append("0.02")  # keep the smoke test quick
+    result = subprocess.run(
+        args, capture_output=True, text=True, timeout=600
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_example_inventory():
+    names = {p.name for p in EXAMPLES}
+    # The deliverable promises at least these scenarios.
+    assert {"quickstart.py", "multi_fs.py", "crash_recovery.py"} <= names
+    assert len(EXAMPLES) >= 3
