@@ -20,7 +20,7 @@ from repro.bench.builders import (
 )
 from repro.bench.smallfile import SmallFilePhases, small_file_benchmark
 from repro.bench.largefile import LargeFilePhases, large_file_benchmark
-from repro.bench.report import render_table
+from repro.bench.report import render_json, render_table, write_json_report
 
 __all__ = [
     "BuildSpec",
@@ -32,5 +32,7 @@ __all__ = [
     "small_file_benchmark",
     "LargeFilePhases",
     "large_file_benchmark",
+    "render_json",
     "render_table",
+    "write_json_report",
 ]

@@ -81,16 +81,22 @@ def build_minix_lld(
     lists_enabled: bool = True,
     segment_size: int | None = None,
     compression: bool = False,
+    read_cache: bool = False,
+    readahead: bool = False,
 ):
     """MINIX LLD (0.5 MB segments, 4 KB blocks, read-ahead off).
 
-    Returns ``(fs, lld)`` so benchmarks can inspect LD statistics.
+    Returns ``(fs, lld)`` so benchmarks can inspect LD statistics. The
+    paper configuration keeps both ``read_cache`` (the LD-level block
+    cache) and ``readahead`` (FS prefetch through vectored reads) off;
+    the read-path benchmark turns them on explicitly.
     """
     config = LLDConfig(
         segment_size=segment_size or spec.segment_size,
         block_size=spec.block_size,
         lists_enabled=lists_enabled,
         checkpoint_slots=2,
+        read_cache_enabled=read_cache,
     )
     lld = LLD(fresh_disk(spec), config)
     lld.initialize()
@@ -100,6 +106,7 @@ def build_minix_lld(
         ninodes=min(spec.ninodes, spec.block_size * 8),
         list_per_file=list_per_file,
         inode_block_mode=inode_block_mode,
+        readahead=readahead,
     )
     if compression:
         _enable_compression(fs, lld)

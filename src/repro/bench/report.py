@@ -1,6 +1,9 @@
-"""Rendering paper-vs-measured tables for the benchmark harness."""
+"""Rendering paper-vs-measured tables and JSON reports for the benchmarks."""
 
 from __future__ import annotations
+
+import dataclasses
+import json
 
 
 def render_table(
@@ -40,3 +43,30 @@ def render_table(
     if note:
         lines.append(note)
     return "\n".join(lines)
+
+
+def _coerce(value):
+    """JSON fallback for the types benchmark payloads actually contain."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return dataclasses.asdict(value)
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def render_json(payload: dict) -> str:
+    """Serialize a benchmark payload (dicts, dataclasses, numbers) to JSON."""
+    return json.dumps(payload, indent=2, sort_keys=True, default=_coerce)
+
+
+def write_json_report(path, payload: dict) -> str:
+    """Write a machine-readable benchmark report; returns the path written.
+
+    This is the emission point for the perf trajectory: benchmarks dump
+    ``LLDStats.as_dict()`` / ``DiskStats.as_dict()`` snapshots plus their
+    derived figures so CI can diff runs without parsing tables.
+    """
+    text = render_json(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return str(path)

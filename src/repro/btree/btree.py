@@ -387,6 +387,24 @@ class BTree:
         self.ld.delete_block(parent_bid, self.lid)
 
     # ------------------------------------------------------------------
+    # Bulk access
+    # ------------------------------------------------------------------
+
+    def preload(self) -> int:
+        """Fault the whole tree in through the LD's vectored read path.
+
+        The tree's pages all live on one block list, so ``read_blocks``
+        over the list coalesces them into a handful of multi-sector disk
+        requests (and, when the LD read cache is on, leaves them resident
+        for the scan or lookup storm that follows). Returns the number of
+        pages touched.
+        """
+        bids = self.ld.list_blocks(self.lid)
+        if bids:
+            self.ld.read_blocks(bids)
+        return len(bids)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 

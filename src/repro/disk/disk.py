@@ -123,14 +123,28 @@ class SimulatedDisk:
                 f"{self.geometry.total_sectors} sectors"
             )
 
+    def _gather(self, lba: int, nsectors: int) -> bytes:
+        """Assemble sector contents into one preallocated buffer.
+
+        Unwritten sectors stay zero; only populated sectors are copied, so
+        large transfers over a sparse store avoid per-sector allocation.
+        """
+        size = self.geometry.sector_size
+        out = bytearray(nsectors * size)
+        sectors = self._sectors
+        for i in range(nsectors):
+            data = sectors.get(lba + i)
+            if data is not None:
+                offset = i * size
+                out[offset : offset + size] = data
+        return bytes(out)
+
     def read(self, lba: int, nsectors: int) -> bytes:
         """Read ``nsectors`` contiguous sectors starting at ``lba``."""
         self._check_range(lba, nsectors)
         self._charge_access(lba, nsectors)
         self.stats.record_request(nsectors, write=False)
-        size = self.geometry.sector_size
-        zero = b"\x00" * size
-        return b"".join(self._sectors.get(lba + i, zero) for i in range(nsectors))
+        return self._gather(lba, nsectors)
 
     def write(self, lba: int, data: bytes) -> None:
         """Write ``data`` (a whole number of sectors) starting at ``lba``."""
@@ -153,9 +167,7 @@ class SimulatedDisk:
     def peek(self, lba: int, nsectors: int) -> bytes:
         """Read bytes without charging time (for tests and recovery checks)."""
         self._check_range(lba, nsectors)
-        size = self.geometry.sector_size
-        zero = b"\x00" * size
-        return b"".join(self._sectors.get(lba + i, zero) for i in range(nsectors))
+        return self._gather(lba, nsectors)
 
     def corrupt(self, lba: int, nsectors: int = 1) -> None:
         """Overwrite sectors with garbage without charging time (fault injection)."""

@@ -7,6 +7,7 @@ simulated time the disk charges.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 
@@ -27,7 +28,7 @@ class DiskStats:
     head_switch_time: float = 0.0
 
     # Histogram of request sizes (in sectors), useful for workload analysis.
-    request_sizes: dict[int, int] = field(default_factory=dict)
+    request_sizes: Counter = field(default_factory=Counter)
 
     @property
     def requests(self) -> int:
@@ -61,7 +62,7 @@ class DiskStats:
         else:
             self.reads += 1
             self.sectors_read += nsectors
-        self.request_sizes[nsectors] = self.request_sizes.get(nsectors, 0) + 1
+        self.request_sizes[nsectors] += 1
 
     def snapshot(self) -> "DiskStats":
         """Copy of the current counters (for before/after deltas)."""
@@ -77,8 +78,34 @@ class DiskStats:
             overhead_time=self.overhead_time,
             head_switch_time=self.head_switch_time,
         )
-        copy.request_sizes = dict(self.request_sizes)
+        copy.request_sizes = Counter(self.request_sizes)
         return copy
+
+    def as_dict(self) -> dict:
+        """Machine-readable form for benchmark JSON reports.
+
+        Includes the derived totals so downstream tooling never has to
+        re-implement the arithmetic.
+        """
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "requests": self.requests,
+            "sectors_read": self.sectors_read,
+            "sectors_written": self.sectors_written,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "seeks": self.seeks,
+            "seek_time": self.seek_time,
+            "rotation_time": self.rotation_time,
+            "transfer_time": self.transfer_time,
+            "overhead_time": self.overhead_time,
+            "head_switch_time": self.head_switch_time,
+            "busy_time": self.busy_time,
+            "request_sizes": {
+                int(size): count for size, count in sorted(self.request_sizes.items())
+            },
+        }
 
     def reset(self) -> None:
         """Zero all counters."""

@@ -20,7 +20,7 @@ from repro.fs.api import NoSpace
 from repro.fs.cache import BufferCache
 from repro.fs.minix.inode import INODE_SIZE
 from repro.fs.minix.store import BlockStore, StoreStats
-from repro.ld.errors import OutOfSpaceError
+from repro.ld.errors import LDError, OutOfSpaceError
 from repro.ld.hints import LIST_HEAD
 from repro.ld.interface import LogicalDisk
 
@@ -178,12 +178,28 @@ class LDStore(BlockStore):
         self.cache.put(zone, data, dirty=True)
 
     def prefetch(self, zones: list[int]) -> None:
-        """MINIX LLD disables read-ahead; prefetch is a deliberate no-op.
+        """Vectored read-ahead through the LD's ``read_blocks``.
 
-        "blocks that MINIX thinks are contiguous may not actually be so"
-        (paper section 4.1).
+        The paper's MINIX LLD disabled read-ahead because "blocks that
+        MINIX thinks are contiguous may not actually be so" (§4.1). The
+        vectored read path removes that objection: ``read_blocks`` asks
+        the LD itself, which knows the physical layout and coalesces
+        whatever *is* contiguous into multi-sector requests. The core only
+        calls this when built with ``readahead=True`` (``make_minix_lld``
+        keeps the paper's default of off), and a prefetch must never fail
+        a read, so allocation races are swallowed.
         """
-        return None
+        missing = [zone for zone in zones if zone not in self.cache]
+        if not missing:
+            return
+        try:
+            datas = self.ld.read_blocks(missing)
+        except LDError:
+            return
+        for zone, data in zip(missing, datas):
+            if len(data) < self.block_size:
+                data = data + b"\x00" * (self.block_size - len(data))
+            self.cache.put(zone, data, dirty=False)
 
     def alloc_zone(self, ctx: int, prev_zone: int) -> int:
         lid = ctx if self.list_per_file else self._data_lid

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.ld.hints import ListHints
 
@@ -72,6 +73,27 @@ class LogicalDisk(abc.ABC):
         block size (LD supports multiple block sizes; MINIX LLD uses both
         4 KB data blocks and 64-byte i-node blocks).
         """
+
+    def read_blocks(self, bids: Sequence[int]) -> list[bytes]:
+        """Vectored read: the contents of every block in ``bids``, in order.
+
+        Semantically identical to ``[self.read(b) for b in bids]`` — and
+        that is the default implementation, so every LD supports the call.
+        Implementations that know the physical layout (LLD) override this
+        to group the blocks by segment and fetch each physically
+        contiguous run with a single multi-sector disk request, which is
+        how the paper's block lists pay off on reads.
+        """
+        return [self.read(bid) for bid in bids]
+
+    def read_list(self, lid: int) -> list[bytes]:
+        """Read every block of list ``lid`` in list order (vectored).
+
+        The natural bulk operation over the paper's central structure:
+        "the list determines what comes next", so a whole-list read is the
+        best possible clustering hint an LD can receive.
+        """
+        return self.read_blocks(self.list_blocks(lid))
 
     @abc.abstractmethod
     def new_block(self, lid: int, pred_bid: int, reservation: Reservation | None = None) -> int:

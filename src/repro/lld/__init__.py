@@ -25,8 +25,9 @@ Implementation notes relative to the paper:
 """
 
 from repro.lld.config import LLDConfig
-from repro.lld.lld import LLD
+from repro.lld.lld import LLD, LLDStats
 from repro.lld.nvram import NVRAM
+from repro.lld.readcache import ReadCache
 from repro.lld.recovery import RecoveryReport
 
-__all__ = ["LLD", "LLDConfig", "NVRAM", "RecoveryReport"]
+__all__ = ["LLD", "LLDConfig", "LLDStats", "NVRAM", "ReadCache", "RecoveryReport"]

@@ -42,6 +42,19 @@ class LLDConfig:
             :meth:`repro.lld.cleaner.Cleaner.compact_tombstones`). A
             tombstone costs ~50 bytes, so the default bounds the table at
             a couple hundred KB; bulk deletes run without compaction.
+        read_cache_enabled: keep an LD-level LRU block cache and serve
+            repeat reads (and read-ahead) from it. Off by default: the
+            paper's LLD had no read cache, and the paper-reproduction
+            benchmarks depend on uncached read timings.
+        read_cache_bytes: strict byte bound of the read cache (default
+            1 MiB). Only meaningful with ``read_cache_enabled``.
+        read_ahead_blocks: on a single ``read`` that misses the cache,
+            up to this many *physically contiguous* successors (along the
+            block's list chain — the structure the paper says encodes
+            "what comes next") are fetched in the same disk request and
+            staged in the read cache. 0 disables read-ahead; it is also
+            inert while the cache is disabled, since the prefetched
+            blocks would have nowhere to live.
     """
 
     segment_size: int = 512 * 1024
@@ -55,6 +68,9 @@ class LLDConfig:
     compression_enabled: bool = True
     model_compression_cost: bool = True
     max_tombstones: int = 4096
+    read_cache_enabled: bool = False
+    read_cache_bytes: int = 1024 * 1024
+    read_ahead_blocks: int = 8
 
     def __post_init__(self) -> None:
         if self.segment_size % SECTOR != 0:
@@ -85,6 +101,14 @@ class LLDConfig:
             raise ValueError(f"unknown clean_policy {self.clean_policy!r}")
         if self.checkpoint_slots < 1:
             raise ValueError("need at least one checkpoint slot")
+        if self.read_cache_enabled and self.read_cache_bytes <= 0:
+            raise ValueError(
+                f"read cache enabled with no capacity: {self.read_cache_bytes}"
+            )
+        if self.read_ahead_blocks < 0:
+            raise ValueError(
+                f"read_ahead_blocks must be non-negative: {self.read_ahead_blocks}"
+            )
 
     @property
     def data_capacity(self) -> int:

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import dataclasses
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.compress.lzrw import compress as raw_compress
 from repro.compress.lzrw import decompress as raw_decompress
@@ -32,6 +35,7 @@ from repro.lld.records import (
     ListMetaRecord,
     Record,
 )
+from repro.lld.readcache import ReadCache
 from repro.lld.recovery import RecoveryReport, run_recovery
 from repro.lld.segment import DiskLayout, OpenSegment
 from repro.lld.state import KIND_FIRST, KIND_LINK, KIND_META, NO_SEGMENT, LLDState
@@ -58,7 +62,35 @@ class LLDStats:
     memory_reads: int = 0  # reads served from the in-memory segment
     nvram_absorbed: int = 0  # partial flushes held in NVRAM (§5.3)
 
+    # Vectored read path (read_blocks / read_list / read-ahead cache).
+    vectored_reads: int = 0  # read_blocks/read_list calls
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_inserts: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    prefetch_issued: int = 0
+    prefetch_used: int = 0
+    prefetch_wasted: int = 0
+    # Coalesced-run length histogram: blocks per multi-sector read request.
+    coalesced_runs: Counter = field(default_factory=Counter)
+
     extra: dict = field(default_factory=dict)
+
+    def snapshot(self) -> "LLDStats":
+        """Copy of the current counters (for before/after deltas)."""
+        copy = dataclasses.replace(self)
+        copy.coalesced_runs = Counter(self.coalesced_runs)
+        copy.extra = dict(self.extra)
+        return copy
+
+    def as_dict(self) -> dict:
+        """Machine-readable form for benchmark JSON reports."""
+        out = dataclasses.asdict(self)
+        out["coalesced_runs"] = {
+            int(length): count for length, count in sorted(self.coalesced_runs.items())
+        }
+        return out
 
 
 class LLD(LogicalDisk):
@@ -108,7 +140,14 @@ class LLD(LogicalDisk):
         self._next_reservation = 1
         #: Read frequency per block, feeding the adaptive hot-block
         #: reorganizer (paper §5.3). Memory-only; reset at startup.
-        self.read_counts: dict[int, int] = {}
+        self.read_counts: Counter[int] = Counter()
+        #: LD-level block cache (None when disabled). The cache shares the
+        #: stats object so hit/miss/prefetch counters land in LLDStats.
+        self.read_cache: ReadCache | None = (
+            ReadCache(self.config.read_cache_bytes, counters=self.stats)
+            if self.config.read_cache_enabled
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -118,6 +157,8 @@ class LLD(LogicalDisk):
         """Start up: load a clean-shutdown image or run one-sweep recovery."""
         if self._initialized:
             raise LDError("LD already initialized")
+        if self.read_cache is not None:
+            self.read_cache.clear()  # volatile: always starts cold
         if self.nvram is not None and self.nvram.holds_data:
             # Replay the partial segment held in NVRAM onto its slot so
             # the normal startup paths (checkpoint or sweep) see it.
@@ -152,6 +193,8 @@ class LLD(LogicalDisk):
         """
         self._initialized = False
         self._open = None
+        if self.read_cache is not None:
+            self.read_cache.clear()  # main-memory state is lost
 
     def _require_init(self) -> None:
         if not self._initialized:
@@ -167,20 +210,135 @@ class LLD(LogicalDisk):
         if entry.segment == NO_SEGMENT:
             return b""
         self.stats.blocks_read += 1
-        self.read_counts[bid] = self.read_counts.get(bid, 0) + 1
+        self.read_counts[bid] += 1
         assert self._open is not None
         if entry.segment == self._open.index:
             raw = self._open.read_data(entry.offset, entry.stored_length)
             self.stats.memory_reads += 1
-        else:
-            lba, nsectors, skew = self.layout.block_extent(
-                entry.segment, entry.offset, entry.stored_length
-            )
-            buf = self.disk.read(lba, nsectors)
-            raw = buf[skew : skew + entry.stored_length]
+            return self._decode(entry, raw)
+        cache = self.read_cache
+        if cache is not None:
+            cached = cache.get(bid)
+            if cached is not None:
+                return cached
+        # Miss: fetch from disk, extending the request over the block's
+        # physically contiguous successor run (the list structure encodes
+        # "what comes next") when read-ahead is on.
+        run = [(bid, entry)]
+        if cache is not None and self.config.read_ahead_blocks > 0:
+            run.extend(self._successor_run(entry))
+        raws = self._read_run(entry.segment, run)
+        data = self._decode(entry, raws[0])
+        if cache is not None:
+            cache.put(bid, data)
+            for (succ_bid, succ_entry), raw in zip(run[1:], raws[1:]):
+                cache.put(succ_bid, self._decode(succ_entry, raw), prefetched=True)
+        return data
+
+    def read_blocks(self, bids: Sequence[int]) -> list[bytes]:
+        """Vectored read: group by segment, coalesce contiguous runs.
+
+        Equivalent to ``[self.read(b) for b in bids]`` byte-for-byte, but
+        every physically contiguous run of requested blocks inside one
+        segment is fetched with a single multi-sector disk request — the
+        read-side payoff of the paper's clustered block lists.
+        """
+        self._require_init()
+        assert self._open is not None
+        self.stats.vectored_reads += 1
+        cache = self.read_cache
+        results: list[bytes | None] = [None] * len(bids)
+        pending: dict[int, list[tuple[int, int, object]]] = {}
+        for i, bid in enumerate(bids):
+            entry = self.state.block(bid)
+            if entry.segment == NO_SEGMENT:
+                results[i] = b""
+                continue
+            self.stats.blocks_read += 1
+            self.read_counts[bid] += 1
+            if entry.segment == self._open.index:
+                raw = self._open.read_data(entry.offset, entry.stored_length)
+                self.stats.memory_reads += 1
+                results[i] = self._decode(entry, raw)
+                continue
+            if cache is not None:
+                cached = cache.get(bid)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+            pending.setdefault(entry.segment, []).append((i, bid, entry))
+        for segment in sorted(pending):
+            items = sorted(pending[segment], key=lambda item: item[2].offset)
+            start = 0
+            while start < len(items):
+                # Grow the run while the next block starts at (or inside,
+                # for duplicates) the bytes already covered.
+                end = start + 1
+                run_end = items[start][2].offset + items[start][2].stored_length
+                while end < len(items) and items[end][2].offset <= run_end:
+                    run_end = max(
+                        run_end, items[end][2].offset + items[end][2].stored_length
+                    )
+                    end += 1
+                run = [(bid, entry) for _i, bid, entry in items[start:end]]
+                raws = self._read_run(segment, run)
+                for (index, bid, entry), raw in zip(items[start:end], raws):
+                    data = self._decode(entry, raw)
+                    results[index] = data
+                    if cache is not None:
+                        cache.put(bid, data)
+                start = end
+        return results  # type: ignore[return-value]
+
+    def read_list(self, lid: int) -> list[bytes]:
+        """Read all of list ``lid`` in order through the vectored path."""
+        self._require_init()
+        return self.read_blocks(list(self.state.iter_list(lid)))
+
+    def _decode(self, entry, raw: bytes) -> bytes:
         if entry.compressed:
             return self._decompress(raw, entry.length)
         return raw
+
+    def _successor_run(self, entry) -> list[tuple[int, object]]:
+        """Physically contiguous successors of ``entry`` (read-ahead)."""
+        cache = self.read_cache
+        run: list[tuple[int, object]] = []
+        blocks = self.state.blocks
+        prev = entry
+        bid = entry.successor
+        while bid is not None and len(run) < self.config.read_ahead_blocks:
+            nxt = blocks.get(bid)
+            if (
+                nxt is None
+                or nxt.segment != entry.segment
+                or nxt.offset != prev.offset + prev.stored_length
+                or (cache is not None and bid in cache)
+            ):
+                break
+            run.append((bid, nxt))
+            prev = nxt
+            bid = nxt.successor
+        return run
+
+    def _read_run(self, segment: int, run: list[tuple[int, object]]) -> list[bytes]:
+        """One multi-sector disk request covering a contiguous run.
+
+        Returns the stored (possibly compressed) bytes of each block in
+        ``run`` order. A single-block run degenerates to exactly the
+        request the scalar read path always issued.
+        """
+        first = run[0][1]
+        last = run[-1][1]
+        total = last.offset + last.stored_length - first.offset
+        lba, nsectors, skew = self.layout.block_extent(segment, first.offset, total)
+        buf = self.disk.read(lba, nsectors)
+        self.stats.coalesced_runs[len(run)] += 1
+        out: list[bytes] = []
+        for _bid, entry in run:
+            start = skew + (entry.offset - first.offset)
+            out.append(buf[start : start + entry.stored_length])
+        return out
 
     def write(self, bid: int, data: bytes) -> None:
         self._require_init()
@@ -618,6 +776,13 @@ class LLD(LogicalDisk):
                 record.death_timestamp = record.timestamp
         self._open.append_record(record)
         self.state.apply(record, self._open.index)
+        # Every contents or location change of a block passes through here
+        # as a BLOCK or BLOCK_DEAD record (write, delete, swap, cleaning,
+        # reorganization), so this one hook keeps the read cache coherent.
+        if self.read_cache is not None and isinstance(
+            record, (BlockRecord, BlockDeadRecord)
+        ):
+            self.read_cache.invalidate(record.bid)
 
     def _note_aru_touch(self, record: Record) -> None:
         """Remember segments the open ARU's keys previously lived in.

@@ -32,6 +32,13 @@ PRIMITIVES = [
     "shutdown",
 ]
 
+# Vectored read extensions: declared on the interface with a generic
+# fallback, so every implementation (specialized or not) provides them.
+VECTORED = [
+    "read_blocks",
+    "read_list",
+]
+
 
 def implementations():
     from repro.lld import LLD
@@ -56,6 +63,16 @@ def test_all_implementations_provide_primitive(name):
         assert not getattr(method, "__isabstractmethod__", False), (
             f"{cls.__name__}.{name} is still abstract"
         )
+
+
+@pytest.mark.parametrize("name", VECTORED)
+def test_vectored_reads_available_everywhere(name):
+    assert callable(getattr(LogicalDisk, name))
+    assert not getattr(getattr(LogicalDisk, name), "__isabstractmethod__", False)
+    for cls in implementations():
+        method = getattr(cls, name, None)
+        assert method is not None, f"{cls.__name__} lacks {name}"
+        assert callable(method)
 
 
 def test_interface_is_abstract():

@@ -1,0 +1,146 @@
+"""Unit tests for the LD-level read cache (LRU, byte bound, counters)."""
+
+import pytest
+
+from repro.lld.readcache import ReadCache, ReadCacheCounters
+
+
+def test_hit_and_miss_counters():
+    cache = ReadCache(1024)
+    assert cache.get(1) is None
+    cache.put(1, b"abc")
+    assert cache.get(1) == b"abc"
+    assert cache.counters.cache_misses == 1
+    assert cache.counters.cache_hits == 1
+    assert cache.counters.cache_inserts == 1
+
+
+def test_empty_block_contents_are_cacheable():
+    cache = ReadCache(16)
+    cache.put(7, b"")
+    # b"" is falsy but a perfectly valid cached value.
+    assert cache.get(7) == b""
+    assert 7 in cache
+
+
+def test_lru_eviction_order():
+    cache = ReadCache(3)
+    cache.put(1, b"a")
+    cache.put(2, b"b")
+    cache.put(3, b"c")
+    # Touch 1 so it becomes MRU; inserting 4 must evict 2 (the LRU).
+    assert cache.get(1) == b"a"
+    cache.put(4, b"d")
+    assert 2 not in cache
+    assert 1 in cache and 3 in cache and 4 in cache
+    assert cache.counters.cache_evictions == 1
+
+
+def test_byte_bound_is_strict():
+    cache = ReadCache(10)
+    cache.put(1, b"x" * 4)
+    cache.put(2, b"y" * 4)
+    cache.put(3, b"z" * 4)  # 12 bytes > 10: must evict down to the bound
+    assert cache.current_bytes <= 10
+    assert 1 not in cache
+    assert cache.current_bytes == 8
+
+
+def test_oversized_insert_rejected_without_thrash():
+    cache = ReadCache(8)
+    cache.put(1, b"a" * 8)
+    assert cache.put(2, b"b" * 9) is False
+    # The resident entry survives; nothing was evicted for a lost cause.
+    assert 1 in cache
+    assert cache.counters.cache_evictions == 0
+
+
+def test_replacing_entry_adjusts_byte_accounting():
+    cache = ReadCache(100)
+    cache.put(1, b"a" * 60)
+    cache.put(1, b"b" * 10)
+    assert cache.current_bytes == 10
+    assert cache.get(1) == b"b" * 10
+
+
+def test_invalidate_removes_and_counts():
+    cache = ReadCache(64)
+    cache.put(1, b"abc")
+    assert cache.invalidate(1) is True
+    assert cache.invalidate(1) is False  # already gone
+    assert 1 not in cache
+    assert cache.get(1) is None
+    assert cache.counters.cache_invalidations == 1
+    assert cache.current_bytes == 0
+
+
+def test_prefetch_lifecycle_used():
+    cache = ReadCache(64)
+    cache.put(1, b"abc", prefetched=True)
+    assert cache.counters.prefetch_issued == 1
+    assert cache.get(1) == b"abc"
+    assert cache.counters.prefetch_used == 1
+    # A second hit does not double-count "used".
+    cache.get(1)
+    assert cache.counters.prefetch_used == 1
+    assert cache.counters.prefetch_wasted == 0
+
+
+def test_prefetch_lifecycle_wasted_on_eviction_and_invalidation():
+    cache = ReadCache(4)
+    cache.put(1, b"aa", prefetched=True)
+    cache.put(2, b"bb", prefetched=True)
+    cache.put(3, b"cc")  # evicts 1, never read -> wasted
+    assert cache.counters.prefetch_wasted == 1
+    cache.invalidate(2)  # never read either -> wasted
+    assert cache.counters.prefetch_wasted == 2
+    assert cache.counters.prefetch_used == 0
+
+
+def test_clear_drops_everything_without_counter_churn():
+    cache = ReadCache(64)
+    cache.put(1, b"a")
+    cache.put(2, b"b", prefetched=True)
+    before = (
+        cache.counters.cache_evictions,
+        cache.counters.cache_invalidations,
+        cache.counters.prefetch_wasted,
+    )
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.current_bytes == 0
+    after = (
+        cache.counters.cache_evictions,
+        cache.counters.cache_invalidations,
+        cache.counters.prefetch_wasted,
+    )
+    assert before == after
+
+
+def test_contains_has_no_side_effects():
+    cache = ReadCache(8)
+    cache.put(1, b"a")
+    cache.put(2, b"b")
+    hits, misses = cache.counters.cache_hits, cache.counters.cache_misses
+    assert 1 in cache
+    assert 99 not in cache
+    assert (cache.counters.cache_hits, cache.counters.cache_misses) == (hits, misses)
+    # __contains__ must not refresh LRU: 1 is still the eviction victim.
+    cache.put(3, b"c" * 7)
+    assert 1 not in cache
+
+
+def test_external_counter_sink():
+    counters = ReadCacheCounters()
+    cache = ReadCache(64, counters=counters)
+    cache.put(1, b"a")
+    cache.get(1)
+    cache.get(2)
+    assert counters.cache_inserts == 1
+    assert counters.cache_hits == 1
+    assert counters.cache_misses == 1
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        ReadCache(-1)
