@@ -20,7 +20,12 @@ from repro.bench.builders import (
 )
 from repro.bench.smallfile import SmallFilePhases, small_file_benchmark
 from repro.bench.largefile import LargeFilePhases, large_file_benchmark
-from repro.bench.report import render_json, render_table, write_json_report
+from repro.bench.report import (
+    render_json,
+    render_table,
+    write_json_report,
+    write_path_summary,
+)
 
 __all__ = [
     "BuildSpec",
@@ -35,4 +40,5 @@ __all__ = [
     "render_json",
     "render_table",
     "write_json_report",
+    "write_path_summary",
 ]

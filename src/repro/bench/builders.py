@@ -83,13 +83,17 @@ def build_minix_lld(
     compression: bool = False,
     read_cache: bool = False,
     readahead: bool = False,
+    delta_partial_flush: bool = True,
+    flush_batch: int = 1,
 ):
     """MINIX LLD (0.5 MB segments, 4 KB blocks, read-ahead off).
 
     Returns ``(fs, lld)`` so benchmarks can inspect LD statistics. The
     paper configuration keeps both ``read_cache`` (the LD-level block
     cache) and ``readahead`` (FS prefetch through vectored reads) off;
-    the read-path benchmark turns them on explicitly.
+    the read-path benchmark turns them on explicitly. The write-path
+    benchmark uses ``delta_partial_flush=False`` for the paper's
+    full-image flush baseline and ``flush_batch`` for group commit.
     """
     config = LLDConfig(
         segment_size=segment_size or spec.segment_size,
@@ -97,6 +101,7 @@ def build_minix_lld(
         lists_enabled=lists_enabled,
         checkpoint_slots=2,
         read_cache_enabled=read_cache,
+        delta_partial_flush=delta_partial_flush,
     )
     lld = LLD(fresh_disk(spec), config)
     lld.initialize()
@@ -107,6 +112,7 @@ def build_minix_lld(
         list_per_file=list_per_file,
         inode_block_mode=inode_block_mode,
         readahead=readahead,
+        flush_batch=flush_batch,
     )
     if compression:
         _enable_compression(fs, lld)

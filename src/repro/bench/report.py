@@ -45,6 +45,34 @@ def render_table(
     return "\n".join(lines)
 
 
+def write_path_summary(lld_stats: dict, disk_stats: dict) -> dict:
+    """Write-side figures for a benchmark report.
+
+    Takes ``LLDStats.as_dict()`` and ``DiskStats.as_dict()`` payloads and
+    derives the write-amplification view: logical vs physical bytes, the
+    partial-flush mix, and the write-request-size histogram.
+    """
+    logical = lld_stats.get("data_bytes_logical", 0)
+    physical = lld_stats.get("data_bytes_physical", 0)
+    return {
+        "data_bytes_logical": logical,
+        "data_bytes_physical": physical,
+        "write_amplification": (physical / logical) if logical else None,
+        "disk_bytes_written": disk_stats.get("bytes_written", 0),
+        "disk_writes": disk_stats.get("writes", 0),
+        "flushes": lld_stats.get("flushes", 0),
+        "flushes_noop": lld_stats.get("flushes_noop", 0),
+        "partial_segment_writes": lld_stats.get("partial_segment_writes", 0),
+        "partial_delta_flushes": lld_stats.get("partial_delta_flushes", 0),
+        "partial_full_writes": lld_stats.get("partial_full_writes", 0),
+        "partial_delta_noop": lld_stats.get("partial_delta_noop", 0),
+        "partial_delta_summary_bytes": lld_stats.get("partial_delta_summary_bytes", 0),
+        "partial_delta_data_bytes": lld_stats.get("partial_delta_data_bytes", 0),
+        "segments_sealed": lld_stats.get("segments_sealed", 0),
+        "write_request_sizes": disk_stats.get("write_request_sizes", {}),
+    }
+
+
 def _coerce(value):
     """JSON fallback for the types benchmark payloads actually contain."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):

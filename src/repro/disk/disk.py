@@ -157,8 +157,12 @@ class SimulatedDisk:
         self._check_range(lba, nsectors)
         self._charge_access(lba, nsectors)
         self.stats.record_request(nsectors, write=True)
+        # A memoryview slice copies each sector's bytes exactly once,
+        # mirroring the _gather read fast path.
+        view = memoryview(data)
+        sectors = self._sectors
         for i in range(nsectors):
-            self._sectors[lba + i] = bytes(data[i * size : (i + 1) * size])
+            sectors[lba + i] = bytes(view[i * size : (i + 1) * size])
 
     # ------------------------------------------------------------------
     # Failure injection / inspection

@@ -29,6 +29,9 @@ class DiskStats:
 
     # Histogram of request sizes (in sectors), useful for workload analysis.
     request_sizes: Counter = field(default_factory=Counter)
+    # Write-only request-size histogram (in sectors): the write path's
+    # request-size/throughput profile, separate from reads.
+    write_request_sizes: Counter = field(default_factory=Counter)
 
     @property
     def requests(self) -> int:
@@ -59,6 +62,7 @@ class DiskStats:
         if write:
             self.writes += 1
             self.sectors_written += nsectors
+            self.write_request_sizes[nsectors] += 1
         else:
             self.reads += 1
             self.sectors_read += nsectors
@@ -79,6 +83,7 @@ class DiskStats:
             head_switch_time=self.head_switch_time,
         )
         copy.request_sizes = Counter(self.request_sizes)
+        copy.write_request_sizes = Counter(self.write_request_sizes)
         return copy
 
     def as_dict(self) -> dict:
@@ -105,6 +110,10 @@ class DiskStats:
             "request_sizes": {
                 int(size): count for size, count in sorted(self.request_sizes.items())
             },
+            "write_request_sizes": {
+                int(size): count
+                for size, count in sorted(self.write_request_sizes.items())
+            },
         }
 
     def reset(self) -> None:
@@ -120,3 +129,4 @@ class DiskStats:
         self.overhead_time = 0.0
         self.head_switch_time = 0.0
         self.request_sizes.clear()
+        self.write_request_sizes.clear()

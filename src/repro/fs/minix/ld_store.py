@@ -41,15 +41,22 @@ class LDStore(BlockStore):
         cache_bytes: int = 6144 * 1024,
         list_per_file: bool = True,
         inode_block_mode: str = MODE_PACKED,
+        flush_batch: int = 1,
     ) -> None:
         if inode_block_mode not in (MODE_PACKED, MODE_SMALL):
             raise ValueError(f"unknown inode_block_mode {inode_block_mode!r}")
+        if flush_batch < 1:
+            raise ValueError(f"flush_batch must be >= 1: {flush_batch}")
         self.ld = ld
         self.block_size = block_size
         self.stats = StoreStats()
         self.cache = BufferCache(cache_bytes, self._writeback)
         self.list_per_file = list_per_file
         self.inode_block_mode = inode_block_mode
+        #: Group commit: coalesce this many logical syncs into one physical
+        #: ``Flush``. 1 (the paper's behaviour) makes every sync durable.
+        self.flush_batch = flush_batch
+        self._pending_syncs = 0
         self._ninodes = 0
         self._meta_lid = 0
         self._data_lid = 0  # shared list when list_per_file is off
@@ -128,14 +135,34 @@ class LDStore(BlockStore):
         self._mounted = True
 
     def sync(self) -> None:
-        """Flush dirty buffers into LD, then make them durable (Flush)."""
+        """Flush dirty buffers into LD, then make them durable (Flush).
+
+        With ``flush_batch > 1`` (group commit / delayed durability) the
+        dirty buffers still move into the LD's open segment on every sync,
+        but only every ``flush_batch``-th sync issues the physical
+        ``Flush``; the skipped syncs are counted in
+        ``stats.syncs_deferred``. A crash between group commits loses at
+        most the deferred syncs' writes — the LD's recovery guarantees are
+        otherwise unchanged.
+        """
         self.stats.syncs += 1
         self.cache.flush(ordered=False)
+        self._pending_syncs += 1
+        if self._pending_syncs >= self.flush_batch:
+            self.barrier()
+        else:
+            self.stats.syncs_deferred += 1
+
+    def barrier(self) -> None:
+        """Force a physical flush regardless of group-commit batching."""
+        self.cache.flush(ordered=False)
+        self._pending_syncs = 0
+        self.stats.group_commits += 1
         self.ld.flush()
 
     def drop_caches(self) -> None:
         self.cache.flush(ordered=False)
-        self.ld.flush()
+        self.barrier()
         self.cache.drop()
 
     @property

@@ -26,6 +26,10 @@ class StoreStats:
     inode_reads: int = 0
     inode_writes: int = 0
     syncs: int = 0
+    # Group commit (LD-backed store): syncs whose physical flush was
+    # deferred, and physical flush points actually issued.
+    syncs_deferred: int = 0
+    group_commits: int = 0
 
     extra: dict = field(default_factory=dict)
 

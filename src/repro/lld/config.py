@@ -55,6 +55,18 @@ class LLDConfig:
             staged in the read cache. 0 disables read-ahead; it is also
             inert while the cache is disabled, since the prefetched
             blocks would have nowhere to live.
+        delta_partial_flush: write below-threshold flushes incrementally.
+            The paper's strategy rewrites the whole open-segment image on
+            every partial flush, so n small synced writes cost O(n²) disk
+            bytes. With this on (the default), the open segment tracks a
+            durable watermark and each partial flush issues at most two
+            contiguous writes: the summary prefix (only when records were
+            added) and the data tail past the watermark. The first flush
+            onto a slot still writes the full image (one write, which
+            also retires the slot's stale previous summary), and seals,
+            NVRAM absorption, and slot switches reset the watermark, so
+            recovery semantics are unchanged. Off reproduces the paper's
+            full-image rewrite behaviour exactly.
     """
 
     segment_size: int = 512 * 1024
@@ -71,6 +83,7 @@ class LLDConfig:
     read_cache_enabled: bool = False
     read_cache_bytes: int = 1024 * 1024
     read_ahead_blocks: int = 8
+    delta_partial_flush: bool = True
 
     def __post_init__(self) -> None:
         if self.segment_size % SECTOR != 0:

@@ -52,6 +52,7 @@ class LLDStats:
     segments_sealed: int = 0
     partial_segment_writes: int = 0
     flushes: int = 0
+    flushes_noop: int = 0  # flushes that found nothing to make durable
     cleanings: int = 0
     blocks_cleaned: int = 0
     records_relogged: int = 0
@@ -75,7 +76,26 @@ class LLDStats:
     # Coalesced-run length histogram: blocks per multi-sector read request.
     coalesced_runs: Counter = field(default_factory=Counter)
 
+    # Incremental write path (delta partial flushes / write amplification).
+    # data_bytes_logical counts stored payload accepted by write();
+    # data_bytes_physical counts every byte the LD write path puts on disk
+    # (images, deltas, scrubs) — their ratio is the write amplification.
+    data_bytes_logical: int = 0
+    data_bytes_physical: int = 0
+    partial_delta_flushes: int = 0  # partial flushes served by delta writes
+    partial_full_writes: int = 0  # first-flush-on-slot full image writes
+    partial_delta_noop: int = 0  # partial flushes with nothing new to write
+    partial_delta_summary_bytes: int = 0
+    partial_delta_data_bytes: int = 0
+
     extra: dict = field(default_factory=dict)
+
+    @property
+    def write_amplification(self) -> float | None:
+        """Physical/logical write ratio (None before any logical write)."""
+        if self.data_bytes_logical <= 0:
+            return None
+        return self.data_bytes_physical / self.data_bytes_logical
 
     def snapshot(self) -> "LLDStats":
         """Copy of the current counters (for before/after deltas)."""
@@ -90,6 +110,7 @@ class LLDStats:
         out["coalesced_runs"] = {
             int(length): count for length, count in sorted(self.coalesced_runs.items())
         }
+        out["write_amplification"] = self.write_amplification
         return out
 
 
@@ -168,6 +189,7 @@ class LLD(LogicalDisk):
             self.recovery_report = None
         else:
             self.recovery_report = run_recovery(self)
+        self.state.init_slots(self.layout.segment_count)
         self._switch_to_slot(self._pick_free_slot())
         self._initialized = True
 
@@ -366,6 +388,7 @@ class LLD(LogicalDisk):
         self.stats.blocks_written += 1
         self.stats.logical_bytes_written += len(data)
         self.stats.stored_bytes_written += len(stored)
+        self.stats.data_bytes_logical += len(stored)
 
     def swap_contents(self, bid_a: int, bid_b: int) -> None:
         """Atomically swap the physical contents of two logical blocks.
@@ -645,22 +668,40 @@ class LLD(LogicalDisk):
         At or above the partial threshold the segment is sealed; below it
         the partially-filled segment is written to its own slot but kept in
         memory, so it keeps filling and the eventual full write replaces
-        the slot without any cleaning.
+        the slot without any cleaning. With ``delta_partial_flush`` (the
+        default) the partial write is incremental: only the summary and
+        the data appended since the watermark go to disk.
+
+        Only flushes that find work count in ``stats.flushes``; a flush of
+        an empty open segment counts in ``stats.flushes_noop`` instead, so
+        benchmark denominators stay honest.
         """
         self._require_init()
         assert self._open is not None
-        self.stats.flushes += 1
         self.compression.drain_pipeline()
         if self._open.is_empty:
+            self.stats.flushes_noop += 1
             return
+        self.stats.flushes += 1
         if self._open.fill_fraction >= self.config.partial_threshold:
             self._seal_segment()
         elif self._try_nvram_absorb():
             self.stats.nvram_absorbed += 1
         else:
+            self._write_partial()
+
+    def _write_partial(self) -> None:
+        """Write the below-threshold open segment to its slot."""
+        assert self._open is not None
+        if self.config.delta_partial_flush:
+            if self._write_open_delta() == 0:
+                # Everything is already durable on disk: nothing to write.
+                self.stats.partial_delta_noop += 1
+                return
+        else:
             self._write_open_image()
-            self._open.partial_writes += 1
-            self.stats.partial_segment_writes += 1
+        self._open.partial_writes += 1
+        self.stats.partial_segment_writes += 1
 
     def _try_nvram_absorb(self) -> bool:
         """Hold the partial segment in NVRAM instead of writing it.
@@ -675,6 +716,10 @@ class LLD(LogicalDisk):
         image = self._open.image()
         if not self.nvram.store(self._open.index, image):
             return False
+        # The NVRAM image supersedes whatever prefix is on disk, so the
+        # watermark no longer describes durable-on-disk bytes: reset it,
+        # and a later non-absorbed flush writes the full image again.
+        self._open.reset_durable()
         min_ts = self._open.min_timestamp()
         if min_ts is None:
             self.state.summary_min_ts.pop(self._open.index, None)
@@ -852,11 +897,59 @@ class LLD(LogicalDisk):
         else:
             self._emit(record)
 
+    def _disk_write(self, lba: int, data: bytes) -> None:
+        """All LD write-path disk writes funnel through here (write-amp)."""
+        self.disk.write(lba, data)
+        self.stats.data_bytes_physical += len(data)
+
     def _write_open_image(self) -> None:
         """Write the open segment (summary + data so far) to its slot."""
         assert self._open is not None
         image = self._open.image()
-        self.disk.write(self.layout.slot_lba(self._open.index), image)
+        self._disk_write(self.layout.slot_lba(self._open.index), image)
+        self._open.mark_durable()
+        self._after_open_segment_write()
+
+    def _write_open_delta(self) -> int:
+        """Delta partial flush: at most two contiguous writes.
+
+        Returns the number of disk writes issued. The first flush onto a
+        slot writes the full image (one contiguous write that also retires
+        the slot's stale previous summary); later flushes write only the
+        data tail past the durable watermark and — when records were
+        appended — the summary prefix. The data tail goes first: a crash
+        between the two writes leaves the previous summary on disk, which
+        describes only the durable prefix, so recovery sees exactly the
+        state of the previous flush.
+        """
+        seg = self._open
+        assert seg is not None
+        if not seg.summary_dirty and not seg.data_dirty:
+            return 0
+        if seg.never_flushed:
+            self._write_open_image()
+            self.stats.partial_full_writes += 1
+            return 1
+        writes = 0
+        base_lba = self.layout.slot_lba(seg.index)
+        if seg.data_dirty:
+            sector, tail = seg.data_tail()
+            self._disk_write(base_lba + self.config.summary_sectors + sector, tail)
+            self.stats.partial_delta_data_bytes += len(tail)
+            writes += 1
+        if seg.summary_dirty:
+            summary = seg.summary_delta_image()
+            self._disk_write(base_lba, summary)
+            self.stats.partial_delta_summary_bytes += len(summary)
+            writes += 1
+        seg.mark_durable()
+        self.stats.partial_delta_flushes += 1
+        self._after_open_segment_write()
+        return writes
+
+    def _after_open_segment_write(self) -> None:
+        """Shared bookkeeping once the open segment's slot is up to date."""
+        assert self._open is not None
         if self.nvram is not None and self.nvram.slot == self._open.index:
             self.nvram.clear()  # the disk copy supersedes the NVRAM image
         min_ts = self._open.min_timestamp()
@@ -882,7 +975,7 @@ class LLD(LogicalDisk):
         for slot in sorted(self._pending_scrubs):
             if slot == open_index or self.state.usage.get(slot, 0) > 0:
                 continue
-            self.disk.write(self.layout.slot_lba(slot), empty)
+            self._disk_write(self.layout.slot_lba(slot), empty)
             self.state.summary_min_ts.pop(slot, None)
         self._pending_scrubs.clear()
         self.cleaner.drop_dead_tombstones()
@@ -915,13 +1008,6 @@ class LLD(LogicalDisk):
     def _pick_free_slot(self) -> int:
         current = self._open.index if self._open is not None else -1
         state = self.state
-        free = [
-            slot
-            for slot in range(self.layout.segment_count)
-            if state.usage.get(slot, 0) <= 0 and slot != current
-        ]
-        if not free:
-            raise OutOfSpaceError("no free segments left")
 
         def rank(slot: int) -> int:
             # Prefer slots whose on-disk summary holds nothing at all,
@@ -934,8 +1020,14 @@ class LLD(LogicalDisk):
                 return 1
             return 2
 
-        best_rank = min(rank(slot) for slot in free)
-        candidates = [slot for slot in free if rank(slot) == best_rank]
+        # The free-slot set is maintained incrementally by LLDState as
+        # usage crosses zero, so a seal ranks only the actual candidates
+        # instead of rescanning every segment.
+        ranks = {slot: rank(slot) for slot in state.free_slots if slot != current}
+        if not ranks:
+            raise OutOfSpaceError("no free segments left")
+        best_rank = min(ranks.values())
+        candidates = sorted(slot for slot, r in ranks.items() if r == best_rank)
         # Prefer the next slot after the current one for sequential layout.
         following = [slot for slot in candidates if slot > current]
         return following[0] if following else candidates[0]
@@ -1052,11 +1144,8 @@ class LLD(LogicalDisk):
     def free_segment_count(self) -> int:
         """Number of completely empty segment slots."""
         current = self._open.index if self._open is not None else -1
-        return sum(
-            1
-            for slot in range(self.layout.segment_count)
-            if self.state.usage.get(slot, 0) <= 0 and slot != current
-        )
+        free = self.state.free_slots
+        return len(free) - (1 if current in free else 0)
 
     def __repr__(self) -> str:
         status = "online" if self._initialized else "offline"

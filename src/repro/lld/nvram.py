@@ -23,6 +23,9 @@ class NVRAM:
     image: bytes | None = None
     stores: int = 0
     overflows: int = 0
+    #: Cumulative image bytes absorbed — disk write traffic the NVRAM
+    #: avoided, the counterpart of ``LLDStats.data_bytes_physical``.
+    bytes_stored: int = 0
 
     def store(self, slot: int, image: bytes) -> bool:
         """Hold the partial image of ``slot``; False if it does not fit."""
@@ -32,7 +35,18 @@ class NVRAM:
         self.slot = slot
         self.image = bytes(image)
         self.stores += 1
+        self.bytes_stored += len(image)
         return True
+
+    def as_dict(self) -> dict:
+        """Machine-readable counters for benchmark JSON reports."""
+        return {
+            "capacity_bytes": self.capacity_bytes,
+            "stores": self.stores,
+            "overflows": self.overflows,
+            "bytes_stored": self.bytes_stored,
+            "holds_data": self.holds_data,
+        }
 
     def clear(self) -> None:
         """Discard the held image (its slot was written to disk)."""

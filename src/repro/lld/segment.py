@@ -119,6 +119,14 @@ class OpenSegment:
         # Summary bytes already committed to records (plus header).
         self.summary_used = _SUMMARY_HEADER.size
         self.partial_writes = 0
+        # Durable watermark: how much of this segment is already on disk
+        # and unchanged since the last flush. Data and records are append-
+        # only inside an open segment, so a flush only needs to write the
+        # summary (when records were added) and the data tail past the
+        # watermark. Seals, NVRAM absorption, and slot switches reset it.
+        self.durable_data = 0
+        self.durable_records = 0
+        self.durable_summary_used = _SUMMARY_HEADER.size
 
     def fits(self, data_len: int, record_bytes: int) -> bool:
         """Can ``data_len`` data bytes plus ``record_bytes`` of records fit?"""
@@ -175,3 +183,61 @@ class OpenSegment:
         if not self.records:
             return None
         return min(record.timestamp for record in self.records)
+
+    # ------------------------------------------------------------------
+    # Durable watermark (delta partial flushes)
+    # ------------------------------------------------------------------
+
+    @property
+    def summary_dirty(self) -> bool:
+        """Records were appended since the last flush of this slot."""
+        return len(self.records) > self.durable_records
+
+    @property
+    def data_dirty(self) -> bool:
+        """Data bytes were appended past the durable watermark."""
+        return self.used > self.durable_data
+
+    @property
+    def never_flushed(self) -> bool:
+        """No part of this segment's current image is on disk yet."""
+        return self.durable_data == 0 and self.durable_records == 0
+
+    def mark_durable(self) -> None:
+        """Record that everything appended so far is now on disk."""
+        self.durable_data = self.used
+        self.durable_records = len(self.records)
+        self.durable_summary_used = self.summary_used
+
+    def reset_durable(self) -> None:
+        """Forget the watermark (slot content on disk is stale/absent)."""
+        self.durable_data = 0
+        self.durable_records = 0
+        self.durable_summary_used = _SUMMARY_HEADER.size
+
+    def summary_delta_image(self) -> bytes:
+        """Summary prefix covering header + all record bytes, whole sectors.
+
+        Record bytes already on disk are unchanged (records are append-
+        only and immutable once logged), but the header — record count,
+        body length, CRC — changes with every append, so the delta write
+        starts at sector 0 and runs through the sector holding the last
+        record byte: one contiguous write, much shorter than the full
+        ``summary_capacity`` for lightly-filled summaries.
+        """
+        image = serialize_summary(self.records, self.config.summary_capacity)
+        nsectors = (self.summary_used + SECTOR - 1) // SECTOR
+        return image[: nsectors * SECTOR]
+
+    def data_tail(self) -> tuple[int, bytes]:
+        """New data past the watermark: ``(data-area sector, padded bytes)``.
+
+        The tail starts at the sector containing the first non-durable
+        byte; re-writing that boundary sector is safe because the durable
+        bytes sharing it are unchanged (appends only). The final sector is
+        padded from the zero-initialized data buffer.
+        """
+        start_sector = self.durable_data // SECTOR
+        start = start_sector * SECTOR
+        end = self.used + (-self.used) % SECTOR
+        return start_sector, bytes(self.data[start:end])

@@ -83,6 +83,12 @@ class LLDState:
 
         self.usage: dict[int, int] = {}  # segment -> live data bytes
         self.segment_blocks: dict[int, set[int]] = {}  # segment -> live bids
+        # Incrementally-maintained set of slots with no live data, so a
+        # seal picks its next slot without rescanning every segment.
+        # Inert (empty, segment_count == 0) until init_slots() is called
+        # with the disk's slot universe.
+        self.segment_count = 0
+        self.free_slots: set[int] = set()
 
         # Metadata homes: (kind, id) -> segment whose summary holds the
         # latest tuple; reverse index segment -> keys.
@@ -124,6 +130,29 @@ class LLDState:
             pass  # consumed by the recovery filter, no state change
         else:  # pragma: no cover - registry and state must stay in sync
             raise TypeError(f"unhandled record type: {type(record).__name__}")
+
+    def init_slots(self, segment_count: int) -> None:
+        """Build the free-slot set for a disk of ``segment_count`` slots.
+
+        Called once at startup (after recovery or a checkpoint load has
+        populated ``usage``); from then on :meth:`_adjust_usage` keeps the
+        set in sync as segment usage crosses zero.
+        """
+        self.segment_count = segment_count
+        self.free_slots = {
+            slot
+            for slot in range(segment_count)
+            if self.usage.get(slot, 0) <= 0
+        }
+
+    def _adjust_usage(self, segment: int, delta: int) -> None:
+        """Change a segment's live-byte count, maintaining the free set."""
+        new = self.usage.get(segment, 0) + delta
+        self.usage[segment] = new
+        if new > 0:
+            self.free_slots.discard(segment)
+        elif 0 <= segment < self.segment_count:
+            self.free_slots.add(segment)
 
     def _ensure_block(self, bid: int) -> BlockEntry:
         entry = self.blocks.get(bid)
@@ -207,9 +236,7 @@ class LLDState:
     def _apply_block(self, record: BlockRecord) -> None:
         entry = self._ensure_block(record.bid)
         if entry.segment != NO_SEGMENT:
-            self.usage[entry.segment] = (
-                self.usage.get(entry.segment, 0) - entry.stored_length
-            )
+            self._adjust_usage(entry.segment, -entry.stored_length)
             bids = self.segment_blocks.get(entry.segment)
             if bids is not None:
                 bids.discard(record.bid)
@@ -218,9 +245,7 @@ class LLDState:
         entry.stored_length = record.stored_length
         entry.length = record.length
         entry.compressed = record.compressed
-        self.usage[record.segment] = (
-            self.usage.get(record.segment, 0) + record.stored_length
-        )
+        self._adjust_usage(record.segment, record.stored_length)
         self.segment_blocks.setdefault(record.segment, set()).add(record.bid)
         self.segment_mod_ts[record.segment] = max(
             self.segment_mod_ts.get(record.segment, 0), record.timestamp
@@ -231,9 +256,7 @@ class LLDState:
     def _apply_block_dead(self, record: BlockDeadRecord, home_segment: int) -> None:
         entry = self.blocks.pop(record.bid, None)
         if entry is not None and entry.segment != NO_SEGMENT:
-            self.usage[entry.segment] = (
-                self.usage.get(entry.segment, 0) - entry.stored_length
-            )
+            self._adjust_usage(entry.segment, -entry.stored_length)
             bids = self.segment_blocks.get(entry.segment)
             if bids is not None:
                 bids.discard(record.bid)

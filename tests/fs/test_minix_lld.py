@@ -3,6 +3,7 @@
 import pytest
 
 from repro.disk import SimulatedDisk, hp_c3010
+from repro.fs.api import FileNotFound
 from repro.fs.minix import LDStore, MinixFS, make_minix_lld
 from repro.lld import LLD, LLDConfig
 from repro.sim import VirtualClock
@@ -162,6 +163,59 @@ def test_sync_maps_to_flush():
     flushes_before = lld.stats.flushes
     fs.sync()
     assert lld.stats.flushes == flushes_before + 1
+
+
+def test_group_commit_coalesces_syncs():
+    fs, lld = build(flush_batch=4)
+    flushes_before = lld.stats.flushes
+    for i in range(3):
+        fd = fs.open(f"/g{i}", create=True)
+        fs.write(fd, bytes([i]) * 4096)
+        fs.close(fd)
+        fs.sync()
+    # Three deferred syncs: buffers moved into LD, no physical flush yet.
+    assert lld.stats.flushes == flushes_before
+    assert fs.store.stats.syncs_deferred == 3
+    fd = fs.open("/g3", create=True)
+    fs.write(fd, bytes([3]) * 4096)
+    fs.close(fd)
+    fs.sync()  # fourth sync: the whole batch becomes durable at once
+    assert lld.stats.flushes == flushes_before + 1
+    assert fs.store.stats.group_commits == 1
+    # Crash now: the group commit made all four files durable together.
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    for i in range(4):
+        fd = fresh_fs.open(f"/g{i}")
+        assert fresh_fs.read(fd, 10) == bytes([i]) * 10
+
+
+def test_group_commit_crash_loses_only_deferred_syncs():
+    fs, lld = build(flush_batch=8)
+    fd = fs.open("/durable", create=True)
+    fs.write(fd, b"\x01" * 4096)
+    fs.close(fd)
+    fs.store.barrier()  # explicit durability point
+    fd = fs.open("/deferred", create=True)
+    fs.write(fd, b"\x02" * 4096)
+    fs.close(fd)
+    fs.sync()  # deferred: physical flush not yet issued
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    fd = fresh_fs.open("/durable")
+    assert fresh_fs.read(fd, 10) == b"\x01" * 10
+    with pytest.raises(FileNotFound):
+        fresh_fs.open("/deferred")
+
+
+def test_drop_caches_forces_pending_group_commit():
+    fs, lld = build(flush_batch=16)
+    fd = fs.open("/f", create=True)
+    fs.write(fd, b"\x07" * 4096)
+    fs.close(fd)
+    fs.sync()  # deferred
+    flushes_before = lld.stats.flushes
+    fs.drop_caches()
+    assert lld.stats.flushes == flushes_before + 1
+    assert fs.store._pending_syncs == 0
 
 
 def test_interlist_clustering_uses_directory_as_predecessor():

@@ -68,7 +68,8 @@ def test_partial_then_crash_recovers_partial_content():
 
 
 def test_multiple_partial_flushes_same_slot():
-    """Each flush rewrites the same slot with a superset of the content."""
+    """Successive flushes keep filling the same slot; on-disk state is
+    always a superset of the previous flush (full image or delta)."""
     lld = make_lld()
     lid = lld.new_list()
     prev = LIST_HEAD
