@@ -21,6 +21,7 @@ from repro.bench.builders import (
 from repro.bench.smallfile import SmallFilePhases, small_file_benchmark
 from repro.bench.largefile import LargeFilePhases, large_file_benchmark
 from repro.bench.report import (
+    crash_matrix_summary,
     render_json,
     render_table,
     write_json_report,
@@ -37,6 +38,7 @@ __all__ = [
     "small_file_benchmark",
     "LargeFilePhases",
     "large_file_benchmark",
+    "crash_matrix_summary",
     "render_json",
     "render_table",
     "write_json_report",

@@ -73,6 +73,33 @@ def write_path_summary(lld_stats: dict, disk_stats: dict) -> dict:
     }
 
 
+def crash_matrix_summary(report) -> dict:
+    """Crash-matrix figures for a benchmark report.
+
+    Takes a ``repro.crashsim.ExplorationReport`` and flattens it into the
+    JSON shape CI diffs: how many crash states were explored (by kind),
+    every violation the invariant checker raised, and what recovering each
+    materialized image cost in simulated time.
+    """
+    return {
+        "states_explored": report.states_total,
+        "states_by_kind": dict(report.states_by_kind),
+        "violations": [
+            {
+                "state_id": v.state_id,
+                "kind": v.kind,
+                "invariant": v.invariant,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "violation_count": len(report.violations),
+        "recovery_seconds_mean": report.recovery_seconds_mean,
+        "recovery_seconds_max": report.recovery_seconds_max,
+        "recovery_seconds_per_state": list(report.recovery_seconds),
+    }
+
+
 def _coerce(value):
     """JSON fallback for the types benchmark payloads actually contain."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):

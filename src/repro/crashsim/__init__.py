@@ -1,0 +1,41 @@
+"""Crash-state explorer: exhaustive torn/reordered-write simulation.
+
+In the spirit of CrashMonkey and ALICE, this package records every sector
+write an LD issues together with the write-ordering barriers that delimit
+its durability epochs, enumerates the crash states a power failure could
+leave on the medium — epoch-aligned prefixes, torn multi-sector writes,
+and bounded intra-epoch reorderings — and runs recovery on each state,
+checking machine-verified invariants against a durability oracle.
+"""
+
+from repro.crashsim.explorer import (
+    CrashState,
+    CrashStateEnumerator,
+    ExplorationReport,
+    Violation,
+)
+from repro.crashsim.oracle import (
+    DurabilityOracle,
+    LLDCrashChecker,
+    OracleDriver,
+    OraclePoint,
+    client_view,
+    run_matrix_workload,
+)
+from repro.crashsim.recording import BarrierEvent, RecordingDisk, WriteEvent
+
+__all__ = [
+    "BarrierEvent",
+    "CrashState",
+    "CrashStateEnumerator",
+    "DurabilityOracle",
+    "ExplorationReport",
+    "LLDCrashChecker",
+    "OracleDriver",
+    "OraclePoint",
+    "RecordingDisk",
+    "Violation",
+    "WriteEvent",
+    "client_view",
+    "run_matrix_workload",
+]

@@ -164,9 +164,42 @@ class SimulatedDisk:
         for i in range(nsectors):
             sectors[lba + i] = bytes(view[i * size : (i + 1) * size])
 
+    def barrier(self, label: str = "barrier") -> None:
+        """Write-ordering barrier: writes issued before it reach the medium
+        before any write issued after it.
+
+        The simulated disk applies every write immediately, so a barrier
+        changes nothing here and charges no time — it only counts. The
+        crash-state explorer's :class:`repro.crashsim.RecordingDisk` gives
+        barriers their meaning: they delimit the epochs within which
+        in-flight writes may be reordered or lost by a crash.
+        """
+        del label  # meaningful only to recording wrappers
+        self.stats.barriers += 1
+
     # ------------------------------------------------------------------
     # Failure injection / inspection
     # ------------------------------------------------------------------
+
+    def install(self, lba: int, data: bytes) -> None:
+        """Place whole sectors without charging time or stats.
+
+        Replay support for the crash-state explorer: crash images are
+        materialized by installing journaled writes onto a fresh disk, so
+        the recovery that follows starts from a clean clock and clean
+        counters.
+        """
+        size = self.geometry.sector_size
+        if len(data) % size != 0:
+            raise ValueError(
+                f"install length {len(data)} is not a multiple of sector size {size}"
+            )
+        nsectors = len(data) // size
+        self._check_range(lba, nsectors)
+        view = memoryview(data)
+        sectors = self._sectors
+        for i in range(nsectors):
+            sectors[lba + i] = bytes(view[i * size : (i + 1) * size])
 
     def peek(self, lba: int, nsectors: int) -> bytes:
         """Read bytes without charging time (for tests and recovery checks)."""

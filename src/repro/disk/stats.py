@@ -27,6 +27,11 @@ class DiskStats:
     overhead_time: float = 0.0
     head_switch_time: float = 0.0
 
+    # Write-ordering barriers announced by the layer above (see
+    # SimulatedDisk.barrier). Free in simulated time; counted so the
+    # crash-state explorer and benchmarks can reason about epochs.
+    barriers: int = 0
+
     # Histogram of request sizes (in sectors), useful for workload analysis.
     request_sizes: Counter = field(default_factory=Counter)
     # Write-only request-size histogram (in sectors): the write path's
@@ -81,6 +86,7 @@ class DiskStats:
             transfer_time=self.transfer_time,
             overhead_time=self.overhead_time,
             head_switch_time=self.head_switch_time,
+            barriers=self.barriers,
         )
         copy.request_sizes = Counter(self.request_sizes)
         copy.write_request_sizes = Counter(self.write_request_sizes)
@@ -106,6 +112,7 @@ class DiskStats:
             "transfer_time": self.transfer_time,
             "overhead_time": self.overhead_time,
             "head_switch_time": self.head_switch_time,
+            "barriers": self.barriers,
             "busy_time": self.busy_time,
             "request_sizes": {
                 int(size): count for size, count in sorted(self.request_sizes.items())
@@ -128,5 +135,6 @@ class DiskStats:
         self.transfer_time = 0.0
         self.overhead_time = 0.0
         self.head_switch_time = 0.0
+        self.barriers = 0
         self.request_sizes.clear()
         self.write_request_sizes.clear()

@@ -67,6 +67,22 @@ class LLDConfig:
             NVRAM absorption, and slot switches reset the watermark, so
             recovery semantics are unchanged. Off reproduces the paper's
             full-image rewrite behaviour exactly.
+        torn_write_protection: make every summary update atomic under torn
+            (partially-applied) multi-sector writes. The crash-state
+            explorer (``repro.crashsim``) found that rewriting a slot's
+            summary in place — which both the full-image and the delta
+            partial flush do — loses *acknowledged* records if the write
+            tears after the header sector: the new header's CRC rejects
+            the half-old body, recovery skips the slot, and the previous
+            flush's records go with it. With this on, a summary update
+            writes the record-tail sectors first (byte-identical in the
+            old image's record range, records being append-only, so the
+            old header stays valid), issues a barrier, then flips sector 0
+            — header plus first records — as one atomic single-sector
+            write. Crash before the flip reads the previous summary;
+            after, the new one. Costs one extra write plus a barrier per
+            summary update, which perturbs the paper's write counts, so it
+            is off by default; the crash matrix runs with it on.
     """
 
     segment_size: int = 512 * 1024
@@ -84,6 +100,7 @@ class LLDConfig:
     read_cache_bytes: int = 1024 * 1024
     read_ahead_blocks: int = 8
     delta_partial_flush: bool = True
+    torn_write_protection: bool = False
 
     def __post_init__(self) -> None:
         if self.segment_size % SECTOR != 0:

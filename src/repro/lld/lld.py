@@ -203,6 +203,7 @@ class LLD(LogicalDisk):
             )
         self.flush()
         self.checkpoint.save(self.state)
+        self._disk_barrier("checkpoint")
         self._initialized = False
         self._open = None
 
@@ -689,6 +690,10 @@ class LLD(LogicalDisk):
             self.stats.nvram_absorbed += 1
         else:
             self._write_partial()
+        # The acknowledgement point: everything this flush wrote must be
+        # on the medium before any later write. The crash-state explorer
+        # keys its durability oracle off this barrier.
+        self._disk_barrier("flush")
 
     def _write_partial(self) -> None:
         """Write the below-threshold open segment to its slot."""
@@ -725,6 +730,10 @@ class LLD(LogicalDisk):
             self.state.summary_min_ts.pop(self._open.index, None)
         else:
             self.state.summary_min_ts[self._open.index] = min_ts
+        # Records re-logged out of pending-scrub slots are durable (in
+        # NVRAM) from this point; the scrub writes must not be reordered
+        # before anything still in flight.
+        self._disk_barrier("nvram-absorb")
         self._process_pending_scrubs()
         return True
 
@@ -902,11 +911,31 @@ class LLD(LogicalDisk):
         self.disk.write(lba, data)
         self.stats.data_bytes_physical += len(data)
 
+    def _disk_barrier(self, label: str) -> None:
+        """Announce a write-ordering point to the disk.
+
+        Free in simulated time on SimulatedDisk; the crash-state
+        explorer's RecordingDisk closes a reorder epoch here.
+        """
+        self.disk.barrier(label)
+
     def _write_open_image(self) -> None:
         """Write the open segment (summary + data so far) to its slot."""
         assert self._open is not None
         image = self._open.image()
-        self._disk_write(self.layout.slot_lba(self._open.index), image)
+        lba = self.layout.slot_lba(self._open.index)
+        if self.config.torn_write_protection and len(image) > SECTOR:
+            # Atomic summary update: everything past the header sector
+            # first, then the single-sector header flip. Until the flip,
+            # the slot's previous summary parses (its record bytes are a
+            # byte-identical prefix when re-flushing the same slot, and a
+            # stale summary losing its body only hides already-superseded
+            # records); after the flip, the new summary is complete.
+            self._disk_write(lba + 1, image[SECTOR:])
+            self._disk_barrier("summary-guard")
+            self._disk_write(lba, image[:SECTOR])
+        else:
+            self._disk_write(lba, image)
         self._open.mark_durable()
         self._after_open_segment_write()
 
@@ -921,6 +950,11 @@ class LLD(LogicalDisk):
         between the two writes leaves the previous summary on disk, which
         describes only the durable prefix, so recovery sees exactly the
         state of the previous flush.
+
+        With ``torn_write_protection`` the summary prefix itself is split:
+        record-tail sectors, a barrier, then the sector-0 header flip, so
+        a torn summary write can never invalidate the previous flush (at
+        most three writes plus a barrier).
         """
         seg = self._open
         assert seg is not None
@@ -939,9 +973,25 @@ class LLD(LogicalDisk):
             writes += 1
         if seg.summary_dirty:
             summary = seg.summary_delta_image()
-            self._disk_write(base_lba, summary)
-            self.stats.partial_delta_summary_bytes += len(summary)
-            writes += 1
+            if self.config.torn_write_protection:
+                # Sectors before the watermark sector are byte-identical
+                # on disk (records are append-only); rewrite only from the
+                # first sector with new record bytes, excluding sector 0,
+                # which is flipped atomically after the barrier.
+                tail_start = max(1, seg.durable_summary_used // SECTOR)
+                summary_tail = summary[tail_start * SECTOR :]
+                if summary_tail:
+                    self._disk_write(base_lba + tail_start, summary_tail)
+                    self.stats.partial_delta_summary_bytes += len(summary_tail)
+                    writes += 1
+                self._disk_barrier("summary-guard")
+                self._disk_write(base_lba, summary[:SECTOR])
+                self.stats.partial_delta_summary_bytes += SECTOR
+                writes += 1
+            else:
+                self._disk_write(base_lba, summary)
+                self.stats.partial_delta_summary_bytes += len(summary)
+                writes += 1
         seg.mark_durable()
         self.stats.partial_delta_flushes += 1
         self._after_open_segment_write()
@@ -950,6 +1000,11 @@ class LLD(LogicalDisk):
     def _after_open_segment_write(self) -> None:
         """Shared bookkeeping once the open segment's slot is up to date."""
         assert self._open is not None
+        # Order the image write before everything that follows it — in
+        # particular the summary scrubs below, which are only safe once
+        # the records re-logged out of the scrubbed slots are durable in
+        # the image just written.
+        self._disk_barrier("segment-image")
         if self.nvram is not None and self.nvram.slot == self._open.index:
             self.nvram.clear()  # the disk copy supersedes the NVRAM image
         min_ts = self._open.min_timestamp()

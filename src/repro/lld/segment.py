@@ -56,7 +56,10 @@ def parse_summary(image: bytes) -> list[Record] | None:
         for _ in range(nrecords):
             record, offset = unpack_record(body, offset)
             records.append(record)
-    except ValueError:
+    except (ValueError, struct.error):
+        # A CRC-valid body whose records fail to parse mid-record (e.g. a
+        # torn write that happened to keep the checksum consistent) must
+        # degrade to skip-segment, never propagate out of the sweep.
         return None
     if offset != body_len:
         return None

@@ -152,6 +152,12 @@ class ULD(LogicalDisk):
             raise OutOfSpaceError("ULD metadata exceeds its region")
         pad = (-len(image)) % SECTOR
         target = self._meta_lbas[self._meta_seq % 2]
+        # Order matters for crash consistency: the in-place data writes
+        # this flush acknowledges must be on the medium before the
+        # metadata that makes them reachable. Without the barrier, a
+        # crash could reorder the shadow page ahead of the data and
+        # recovery would serve unwritten sectors as block content.
+        self.disk.barrier("uld-metadata")
         self.disk.write(target, image + b"\x00" * pad)
 
     def _read_metadata(self, lba: int):

@@ -218,6 +218,80 @@ def test_drop_caches_forces_pending_group_commit():
     assert fs.store._pending_syncs == 0
 
 
+def test_flush_batch_one_is_no_batching():
+    """flush_batch=1 (the default) degenerates to one Flush per sync."""
+    fs, lld = build(flush_batch=1)
+    flushes_before = lld.stats.flushes
+    for i in range(4):
+        fd = fs.open(f"/n{i}", create=True)
+        fs.write(fd, bytes([i + 1]) * 4096)
+        fs.close(fd)
+        fs.sync()
+    assert fs.store.stats.syncs_deferred == 0
+    assert fs.store.stats.group_commits == 4
+    assert lld.stats.flushes == flushes_before + 4
+    # Identical durability to the unbatched path: every file survives a
+    # crash immediately after its sync.
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    for i in range(4):
+        fd = fresh_fs.open(f"/n{i}")
+        assert fresh_fs.read(fd, 10) == bytes([i + 1]) * 10
+
+
+def test_barrier_during_open_aru_keeps_uncommitted_ops_invisible():
+    """A Flush while an ARU is open makes its records durable but not
+    committed: after a crash before EndARU, the whole unit vanishes."""
+    fs, lld = build()
+    fs.sync()  # baseline durability point
+    lld.begin_aru()
+    fd = fs.open("/uncommitted", create=True)
+    fs.write(fd, b"\x0a" * 4096)
+    fs.close(fd)
+    fs.store.barrier()  # durable mid-ARU — explicitly legal
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    assert not fresh_fs.exists("/uncommitted")
+
+
+def test_barrier_after_aru_commit_makes_ops_durable():
+    fs, lld = build()
+    fs.sync()
+    lld.begin_aru()
+    fd = fs.open("/committed", create=True)
+    fs.write(fd, b"\x0b" * 4096)
+    fs.close(fd)
+    fs.store.barrier()  # mid-ARU flush, then commit, then flush again
+    lld.end_aru()
+    fs.store.barrier()
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    fd = fresh_fs.open("/committed")
+    assert fresh_fs.read(fd, 10) == b"\x0b" * 10
+
+
+def test_crash_between_deferred_syncs_loses_at_most_the_batch():
+    """Group commit's contract: a crash can only lose writes whose syncs
+    were deferred — never anything from an already-committed batch."""
+    fs, lld = build(flush_batch=3)
+    for i in range(3):
+        fd = fs.open(f"/acked{i}", create=True)
+        fs.write(fd, bytes([i + 1]) * 4096)
+        fs.close(fd)
+        fs.sync()
+    assert fs.store.stats.group_commits == 1  # third sync committed all
+    assert fs.store.stats.syncs_deferred == 2
+    for i in range(2):
+        fd = fs.open(f"/deferred{i}", create=True)
+        fs.write(fd, bytes([i + 9]) * 4096)
+        fs.close(fd)
+        fs.sync()
+    assert fs.store.stats.syncs_deferred == 4  # both new syncs deferred
+    fresh_fs, _ = remount_after_crash(fs, lld)
+    for i in range(3):
+        fd = fresh_fs.open(f"/acked{i}")
+        assert fresh_fs.read(fd, 10) == bytes([i + 1]) * 10
+    for i in range(2):
+        assert not fresh_fs.exists(f"/deferred{i}")
+
+
 def test_interlist_clustering_uses_directory_as_predecessor():
     fs, lld = build()
     fs.mkdir("/d")

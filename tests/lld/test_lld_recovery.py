@@ -207,3 +207,84 @@ def test_compressed_blocks_survive_recovery():
     lld.flush()
     recovered = reopen(lld)
     assert recovered.read(bid) == data
+
+
+# ----------------------------------------------------------------------
+# Coalesced summary sweep
+# ----------------------------------------------------------------------
+
+
+def test_sweep_issues_one_request_per_slot_on_wide_segments():
+    """With 64 KB segments the inter-summary gap is too wide to bridge:
+    the sweep stays one read request per slot."""
+    lld = make_lld()
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"wide" * 100)
+    lld.flush()
+    recovered = reopen(lld)
+    report = recovered.recovery_report
+    assert report.summary_read_requests == report.segments_scanned
+
+
+def test_sweep_coalesces_adjacent_summaries_on_narrow_segments():
+    """With 8 KB segments the gap between summaries costs less to stream
+    over than a fresh request, so the sweep spans many slots per read."""
+    lld = make_lld(segment_size=8192, summary_capacity=512)
+    lid = lld.new_list()
+    bids = []
+    pred = LIST_HEAD
+    for i in range(6):
+        bid = lld.new_block(lid, pred)
+        lld.write(bid, bytes([i + 1]) * 2048)
+        bids.append(bid)
+        pred = bid
+    lld.flush()
+    recovered = reopen(lld)
+    report = recovered.recovery_report
+    assert report.segments_scanned > 8
+    assert 0 < report.summary_read_requests < report.segments_scanned
+    # Coalescing changes only the request count, never the result.
+    for i, bid in enumerate(bids):
+        assert recovered.read(bid) == bytes([i + 1]) * 2048
+
+
+def test_coalesced_sweep_still_skips_damaged_summaries():
+    lld = make_lld(segment_size=8192, summary_capacity=512)
+    lid = lld.new_list()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"keep me too")
+    lld.flush()
+    victim = lld.layout.segment_count - 1
+    lld.disk.corrupt(lld.layout.slot_lba(victim), 1)
+    recovered = reopen(lld)
+    assert recovered.read(bid) == b"keep me too"
+
+
+def test_coalesced_sweep_is_faster_than_per_slot():
+    """The point of coalescing: fewer requests means less simulated time
+    paid to per-request overhead and rotational delay."""
+    from repro.lld import recovery as recovery_mod
+
+    def timed_recovery(batch_override):
+        lld = make_lld(segment_size=8192, summary_capacity=512)
+        lid = lld.new_list()
+        bid = lld.new_block(lid, LIST_HEAD)
+        lld.write(bid, b"t" * 1024)
+        lld.flush()
+        if batch_override is not None:
+            original = recovery_mod._sweep_batch_size
+            recovery_mod._sweep_batch_size = lambda _lld: batch_override
+            try:
+                recovered = reopen(lld)
+            finally:
+                recovery_mod._sweep_batch_size = original
+        else:
+            recovered = reopen(lld)
+        return recovered.recovery_report
+
+    coalesced = timed_recovery(None)
+    per_slot = timed_recovery(1)
+    assert coalesced.summaries_valid == per_slot.summaries_valid
+    assert coalesced.summary_read_requests < per_slot.summary_read_requests
+    assert coalesced.simulated_seconds < per_slot.simulated_seconds

@@ -144,3 +144,80 @@ def test_external_counter_sink():
 def test_negative_capacity_rejected():
     with pytest.raises(ValueError):
         ReadCache(-1)
+
+
+# ----------------------------------------------------------------------
+# Crash correctness: the cache is volatile and must never leak stale
+# pre-crash bytes into a recovered instance.
+# ----------------------------------------------------------------------
+
+
+from tests.lld.conftest import make_lld, reopen
+
+
+def build_sealed_cached_lld(n_blocks=12):
+    """A cached LLD whose blocks live in a sealed segment (so reads go
+    through the disk + cache path, not the in-memory open segment)."""
+    lld = make_lld(read_cache_enabled=True, read_cache_bytes=256 * 1024)
+    lid = lld.new_list()
+    bids = []
+    pred = -1
+    for i in range(n_blocks):
+        bid = lld.new_block(lid, pred)
+        lld.write(bid, bytes([i + 1]) * 4096)
+        bids.append(bid)
+        pred = bid
+    lld.flush()
+    assert lld.stats.segments_sealed >= 1
+    return lld, lid, bids
+
+
+def test_crash_clears_the_cache():
+    lld, _lid, bids = build_sealed_cached_lld()
+    lld.read(bids[0])  # populate the cache from the sealed segment
+    assert lld.read_cache.current_bytes > 0
+    lld.crash()
+    assert lld.read_cache.current_bytes == 0
+
+
+def test_recovered_instance_starts_cold_and_serves_acked_content():
+    lld, _lid, bids = build_sealed_cached_lld()
+    for bid in bids:
+        lld.read(bid)  # warm the pre-crash cache
+    fresh = reopen(lld)
+    assert fresh.read_cache is not None
+    assert fresh.read_cache.current_bytes == 0
+    misses_before = fresh.read_cache.counters.cache_misses
+    for i, bid in enumerate(bids):
+        assert fresh.read(bid) == bytes([i + 1]) * 4096
+    assert fresh.read_cache.counters.cache_misses > misses_before
+
+
+def test_recovery_never_serves_unflushed_overwrite_from_cache():
+    """An overwrite that was cached but never flushed must revert to the
+    acknowledged version after a crash — the cache cannot resurrect it."""
+    lld, _lid, bids = build_sealed_cached_lld()
+    victim = bids[0]
+    acked = bytes([1]) * 4096
+    assert lld.read(victim) == acked  # cached now
+    unflushed = b"version-two" * 150
+    lld.write(victim, unflushed)
+    # The write path must already have invalidated/updated the cache so
+    # the live instance serves the new version...
+    assert lld.read(victim) == unflushed
+    # ...but after a crash, only the flushed version exists.
+    fresh = reopen(lld)
+    assert fresh.read(victim) == acked
+
+
+def test_recovered_read_ahead_stages_only_durable_bytes():
+    """Read-ahead in the recovered instance prefetches from the recovered
+    log, so list successors come back with their acknowledged contents."""
+    lld, _lid, bids = build_sealed_cached_lld()
+    for bid in bids:
+        lld.read(bid)  # warm the pre-crash cache
+    fresh = reopen(lld)
+    assert fresh.read(bids[0]) == bytes([1]) * 4096
+    # Whatever read-ahead staged must match the durable contents.
+    for i, bid in enumerate(bids):
+        assert fresh.read(bid) == bytes([i + 1]) * 4096
