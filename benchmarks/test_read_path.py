@@ -15,7 +15,7 @@ and at least 4x fewer disk requests. Results land in
 
 from pathlib import Path
 
-from repro.bench import render_table, write_json_report
+from repro.bench import render_table, stack_registry, write_json_report
 from repro.bench.builders import fresh_disk
 from repro.btree import BTree
 from repro.ld.hints import LIST_HEAD
@@ -159,6 +159,9 @@ def test_read_path(spec, benchmark):
         "cached_lld_stats": results["_cached"].stats.as_dict(),
         "vectored_disk": results["_lld"].disk.stats.as_dict(),
         "baseline_disk": results["_baseline"].disk.stats.as_dict(),
+        # The unified registry view of the vectored stack — the same
+        # collect() path every benchmark's layer metrics flow through.
+        "metrics": stack_registry(lld=results["_lld"]).collect(),
     }
     emit(f"wrote {write_json_report(REPORT_PATH, report)}")
 

@@ -9,24 +9,30 @@ with the partition size; the claims verified here:
 * a clean shutdown restarts much faster than crash recovery.
 """
 
+from pathlib import Path
+
 import pytest
 
-from repro.bench import BuildSpec, build_minix_lld
+from repro.bench import BuildSpec, build_minix_lld, stack_registry, write_json_report
 from repro.bench.recovery import crash_and_recover, populate
 from repro.bench.report import render_table
 from repro.lld import LLD
 from benchmarks.conftest import emit
 
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_recovery_time.json"
+
 
 def run(spec):
     fs, lld = build_minix_lld(spec)
     populate(fs, files=max(50, int(2000 * spec.scale)), file_bytes=8192)
-    _fresh_fs, fresh_lld, timing = crash_and_recover(fs, lld)
-    return lld, fresh_lld, timing
+    fresh_fs, fresh_lld, timing = crash_and_recover(fs, lld)
+    return fresh_fs, fresh_lld, timing
 
 
 def test_recovery_after_crash(spec, benchmark):
-    lld, fresh_lld, timing = benchmark.pedantic(run, args=(spec,), rounds=1, iterations=1)
+    fresh_fs, fresh_lld, timing = benchmark.pedantic(
+        run, args=(spec,), rounds=1, iterations=1
+    )
 
     slots = fresh_lld.layout.segment_count
     emit(
@@ -43,6 +49,23 @@ def test_recovery_after_crash(spec, benchmark):
             note="paper: 12 s for 788 summaries on a 400 MB partition",
         )
     )
+    # RecoveryReport flows through the same registry collect() path as the
+    # read/write-path metrics: layer-prefixed, deterministically ordered.
+    metrics = stack_registry(
+        fs=fresh_fs, lld=fresh_lld, recovery=timing.report
+    ).collect()
+    report = {
+        "benchmark": "recovery_time",
+        "scale": spec.scale,
+        "ld_seconds": timing.ld_seconds,
+        "fs_mount_seconds": timing.fs_mount_seconds,
+        "total_seconds": timing.total_seconds,
+        "segment_slots": slots,
+        "metrics": metrics,
+    }
+    emit(f"wrote {write_json_report(REPORT_PATH, report)}")
+
+    assert metrics["recovery.records_applied"] == timing.report.records_applied
     assert timing.report.records_applied > 0
     # One-sweep: the read volume is ~ summaries, far below the whole disk.
     summary_sectors = slots * fresh_lld.config.summary_sectors

@@ -16,7 +16,12 @@ byte-identical between the two paths. Results land in
 
 from pathlib import Path
 
-from repro.bench import render_table, write_json_report, write_path_summary
+from repro.bench import (
+    render_table,
+    stack_registry,
+    write_json_report,
+    write_path_summary,
+)
 from repro.bench.builders import build_minix_lld
 from repro.fs.minix import LDStore, MinixFS
 from repro.fs.minix.inode import INODE_SIZE
@@ -96,6 +101,10 @@ def run_comparison(spec):
     for label, delta in (("full image (paper)", False), ("delta flush", True)):
         _fs, lld, count, elapsed = run_fsync_workload(spec, delta=delta)
         results[label] = summarize(lld, elapsed)
+        if delta:
+            # Registry view of the delta stack, captured before the crash
+            # below adds recovery I/O to the disk counters.
+            results["_metrics"] = stack_registry(fs=_fs, lld=lld).collect()
         images[label] = recovered_ld_image(lld)
     assert images["full image (paper)"] == images["delta flush"]
     results["_count"] = count
@@ -168,6 +177,9 @@ def test_write_path(spec, benchmark):
             base["sim_time"] / delta["sim_time"] if delta["sim_time"] else None
         ),
         "recovered_state_identical": results["_recovered_identical"],
+        # Layer-prefixed registry collect() over the delta stack — the
+        # unified path all benchmark metrics now flow through.
+        "metrics": results["_metrics"],
     }
     emit(f"wrote {write_json_report(REPORT_PATH, report)}")
 

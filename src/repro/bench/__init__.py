@@ -24,6 +24,7 @@ from repro.bench.report import (
     crash_matrix_summary,
     render_json,
     render_table,
+    stack_registry,
     write_json_report,
     write_path_summary,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "crash_matrix_summary",
     "render_json",
     "render_table",
+    "stack_registry",
     "write_json_report",
     "write_path_summary",
 ]

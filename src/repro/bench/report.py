@@ -5,6 +5,34 @@ from __future__ import annotations
 import dataclasses
 import json
 
+from repro.obs.metrics import MetricsRegistry
+
+
+def stack_registry(fs=None, lld=None, recovery=None) -> MetricsRegistry:
+    """One :class:`~repro.obs.MetricsRegistry` over a built FS→LD→disk stack.
+
+    This replaces the benchmarks' ad-hoc merging of ``as_dict()`` payloads:
+    every layer that exists on the stack under test is adopted under its
+    layer name, and ``registry.collect()`` yields the merged,
+    layer-prefixed, deterministically-ordered dict for JSON reports.
+
+    ``recovery`` overrides the LD's own ``recovery_report`` (useful when
+    the report came from a *different* post-crash LLD instance).
+    """
+    registry = MetricsRegistry()
+    if fs is not None:
+        registry.register("fs", fs.store.stats)
+    if lld is not None:
+        registry.register("lld", lld.stats)
+        registry.register("disk", lld.disk.stats)
+        if lld.nvram is not None:
+            registry.register("nvram", lld.nvram)
+        if recovery is None:
+            recovery = lld.recovery_report
+    if recovery is not None:
+        registry.register("recovery", recovery)
+    return registry
+
 
 def render_table(
     title: str,
@@ -110,7 +138,12 @@ def _coerce(value):
 
 
 def render_json(payload: dict) -> str:
-    """Serialize a benchmark payload (dicts, dataclasses, numbers) to JSON."""
+    """Serialize a benchmark payload (dicts, dataclasses, numbers) to JSON.
+
+    Key ordering is deterministic end to end: ``sort_keys`` orders every
+    object, and the registry's ``collect()`` emits sorted layer-prefixed
+    keys, so byte-identical state renders to byte-identical JSON.
+    """
     return json.dumps(payload, indent=2, sort_keys=True, default=_coerce)
 
 

@@ -6,6 +6,7 @@ import math
 
 from repro.disk.geometry import DiskGeometry
 from repro.disk.stats import DiskStats
+from repro.obs.trace import NULL_SPAN
 from repro.sim.clock import VirtualClock
 
 
@@ -32,10 +33,15 @@ class SimulatedDisk:
     Storage is sparse: sectors never written read back as zeros.
     """
 
-    def __init__(self, geometry: DiskGeometry, clock: VirtualClock) -> None:
+    def __init__(
+        self, geometry: DiskGeometry, clock: VirtualClock, tracer=None
+    ) -> None:
         self.geometry = geometry
         self.clock = clock
-        self.stats = DiskStats()
+        self.stats = DiskStats(sector_size=geometry.sector_size)
+        #: Optional :class:`repro.obs.Tracer`; None (the default) keeps
+        #: the request path span-free (see repro.obs for the guard idiom).
+        self.tracer = tracer
         self._sectors: dict[int, bytes] = {}
         self._current_cylinder = 0
         # Pre-computed seek-curve slope: min + b*(sqrt(max_dist)-1) == max.
@@ -142,8 +148,10 @@ class SimulatedDisk:
     def read(self, lba: int, nsectors: int) -> bytes:
         """Read ``nsectors`` contiguous sectors starting at ``lba``."""
         self._check_range(lba, nsectors)
-        self._charge_access(lba, nsectors)
-        self.stats.record_request(nsectors, write=False)
+        tr = self.tracer
+        with tr.span("disk.read", lba=lba, sectors=nsectors) if tr else NULL_SPAN:
+            self._charge_access(lba, nsectors)
+            self.stats.record_request(nsectors, write=False)
         return self._gather(lba, nsectors)
 
     def write(self, lba: int, data: bytes) -> None:
@@ -155,8 +163,10 @@ class SimulatedDisk:
             )
         nsectors = len(data) // size
         self._check_range(lba, nsectors)
-        self._charge_access(lba, nsectors)
-        self.stats.record_request(nsectors, write=True)
+        tr = self.tracer
+        with tr.span("disk.write", lba=lba, sectors=nsectors) if tr else NULL_SPAN:
+            self._charge_access(lba, nsectors)
+            self.stats.record_request(nsectors, write=True)
         # A memoryview slice copies each sector's bytes exactly once,
         # mirroring the _gather read fast path.
         view = memoryview(data)
@@ -174,7 +184,9 @@ class SimulatedDisk:
         barriers their meaning: they delimit the epochs within which
         in-flight writes may be reordered or lost by a crash.
         """
-        del label  # meaningful only to recording wrappers
+        tr = self.tracer
+        if tr:
+            tr.instant("disk.barrier", label=label)
         self.stats.barriers += 1
 
     # ------------------------------------------------------------------

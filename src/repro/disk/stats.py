@@ -15,6 +15,11 @@ from dataclasses import dataclass, field
 class DiskStats:
     """Counters accumulated by :class:`repro.disk.SimulatedDisk`."""
 
+    #: Bytes per sector of the disk these counters describe; the byte
+    #: totals below are derived from it, so non-512 geometry profiles
+    #: report correct byte counts.
+    sector_size: int = 512
+
     reads: int = 0
     writes: int = 0
     sectors_read: int = 0
@@ -56,11 +61,11 @@ class DiskStats:
 
     @property
     def bytes_read(self) -> int:
-        return self.sectors_read * 512
+        return self.sectors_read * self.sector_size
 
     @property
     def bytes_written(self) -> int:
-        return self.sectors_written * 512
+        return self.sectors_written * self.sector_size
 
     def record_request(self, nsectors: int, write: bool) -> None:
         """Count one request of ``nsectors`` sectors."""
@@ -76,6 +81,7 @@ class DiskStats:
     def snapshot(self) -> "DiskStats":
         """Copy of the current counters (for before/after deltas)."""
         copy = DiskStats(
+            sector_size=self.sector_size,
             reads=self.reads,
             writes=self.writes,
             sectors_read=self.sectors_read,
@@ -99,6 +105,7 @@ class DiskStats:
         re-implement the arithmetic.
         """
         return {
+            "sector_size": self.sector_size,
             "reads": self.reads,
             "writes": self.writes,
             "requests": self.requests,

@@ -23,6 +23,7 @@ from repro.fs.minix.store import BlockStore, StoreStats
 from repro.ld.errors import LDError, OutOfSpaceError
 from repro.ld.hints import LIST_HEAD
 from repro.ld.interface import LogicalDisk
+from repro.obs.trace import NULL_SPAN
 
 _SUPER = struct.Struct("<4sIIBBIIIII")
 _MAGIC = b"MXLD"
@@ -50,6 +51,10 @@ class LDStore(BlockStore):
         self.ld = ld
         self.block_size = block_size
         self.stats = StoreStats()
+        #: Optional :class:`repro.obs.Tracer`, inherited from the LD so a
+        #: store built over a traced stack joins the same trace. Use
+        #: ``repro.obs.attach_tracer`` to set it after construction.
+        self.tracer = getattr(ld, "tracer", None)
         self.cache = BufferCache(cache_bytes, self._writeback)
         self.list_per_file = list_per_file
         self.inode_block_mode = inode_block_mode
@@ -145,20 +150,27 @@ class LDStore(BlockStore):
         most the deferred syncs' writes — the LD's recovery guarantees are
         otherwise unchanged.
         """
-        self.stats.syncs += 1
-        self.cache.flush(ordered=False)
-        self._pending_syncs += 1
-        if self._pending_syncs >= self.flush_batch:
-            self.barrier()
-        else:
-            self.stats.syncs_deferred += 1
+        tr = self.tracer
+        with (tr.span("fs.sync") if tr else NULL_SPAN) as sp:
+            self.stats.syncs += 1
+            self.cache.flush(ordered=False)
+            self._pending_syncs += 1
+            deferred = self._pending_syncs < self.flush_batch
+            if sp is not None:
+                sp.attrs["deferred"] = deferred
+            if deferred:
+                self.stats.syncs_deferred += 1
+            else:
+                self.barrier()
 
     def barrier(self) -> None:
         """Force a physical flush regardless of group-commit batching."""
-        self.cache.flush(ordered=False)
-        self._pending_syncs = 0
-        self.stats.group_commits += 1
-        self.ld.flush()
+        tr = self.tracer
+        with tr.span("fs.barrier") if tr else NULL_SPAN:
+            self.cache.flush(ordered=False)
+            self._pending_syncs = 0
+            self.stats.group_commits += 1
+            self.ld.flush()
 
     def drop_caches(self) -> None:
         self.cache.flush(ordered=False)
@@ -219,8 +231,10 @@ class LDStore(BlockStore):
         missing = [zone for zone in zones if zone not in self.cache]
         if not missing:
             return
+        tr = self.tracer
         try:
-            datas = self.ld.read_blocks(missing)
+            with tr.span("fs.prefetch", count=len(missing)) if tr else NULL_SPAN:
+                datas = self.ld.read_blocks(missing)
         except LDError:
             return
         for zone, data in zip(missing, datas):

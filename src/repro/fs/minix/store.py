@@ -10,6 +10,7 @@ central engineering claim of the paper.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass, field
 
 
@@ -32,6 +33,16 @@ class StoreStats:
     group_commits: int = 0
 
     extra: dict = field(default_factory=dict)
+
+    def snapshot(self) -> "StoreStats":
+        """Copy of the current counters (for before/after deltas)."""
+        copy = dataclasses.replace(self)
+        copy.extra = dict(self.extra)
+        return copy
+
+    def as_dict(self) -> dict:
+        """Machine-readable form for benchmark JSON reports."""
+        return dataclasses.asdict(self)
 
 
 class BlockStore(abc.ABC):

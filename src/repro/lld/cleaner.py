@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.ld.errors import OutOfSpaceError
 from repro.lld.state import NO_SEGMENT
+from repro.obs.trace import NULL_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lld.lld import LLD
@@ -115,6 +116,12 @@ class Cleaner:
         lld = self.lld
         if slot == lld.open_segment_index:
             raise ValueError("cannot clean the open segment")
+        tr = lld.tracer
+        with tr.span("lld.cleaner_pass", slot=slot) if tr else NULL_SPAN:
+            self._clean_segment(slot)
+
+    def _clean_segment(self, slot: int) -> None:
+        lld = self.lld
         lld._cleaning = True
         lld.stats.cleanings += 1
         try:

@@ -37,6 +37,7 @@ from repro.lld.records import (
 )
 from repro.lld.readcache import ReadCache
 from repro.lld.recovery import RecoveryReport, run_recovery
+from repro.obs.trace import NULL_SPAN
 from repro.lld.segment import DiskLayout, OpenSegment
 from repro.lld.state import KIND_FIRST, KIND_LINK, KIND_META, NO_SEGMENT, LLDState
 
@@ -130,8 +131,13 @@ class LLD(LogicalDisk):
         config: LLDConfig | None = None,
         compression: CompressionModel | None = None,
         nvram=None,
+        tracer=None,
     ) -> None:
         self.disk = disk
+        #: Optional :class:`repro.obs.Tracer`. Inherited from the disk
+        #: when not given, so a post-crash LLD built over a traced disk
+        #: keeps tracing (recovery spans land in the same trace).
+        self.tracer = tracer if tracer is not None else getattr(disk, "tracer", None)
         self.config = config or LLDConfig()
         self.layout = DiskLayout(disk, self.config)
         self.state = LLDState()
@@ -229,6 +235,11 @@ class LLD(LogicalDisk):
 
     def read(self, bid: int) -> bytes:
         self._require_init()
+        tr = self.tracer
+        with tr.span("lld.read", bid=bid) if tr else NULL_SPAN:
+            return self._read_one(bid)
+
+    def _read_one(self, bid: int) -> bytes:
         entry = self.state.block(bid)
         if entry.segment == NO_SEGMENT:
             return b""
@@ -267,6 +278,12 @@ class LLD(LogicalDisk):
         read-side payoff of the paper's clustered block lists.
         """
         self._require_init()
+        assert self._open is not None
+        tr = self.tracer
+        with tr.span("lld.read_blocks", count=len(bids)) if tr else NULL_SPAN:
+            return self._read_blocks(bids)
+
+    def _read_blocks(self, bids: Sequence[int]) -> list[bytes]:
         assert self._open is not None
         self.stats.vectored_reads += 1
         cache = self.read_cache
@@ -365,6 +382,11 @@ class LLD(LogicalDisk):
 
     def write(self, bid: int, data: bytes) -> None:
         self._require_init()
+        tr = self.tracer
+        with tr.span("lld.write", bid=bid, nbytes=len(data)) if tr else NULL_SPAN:
+            self._write_one(bid, data)
+
+    def _write_one(self, bid: int, data: bytes) -> None:
         entry = self.state.block(bid)
         data = bytes(data)
         if len(data) > self.config.block_size:
@@ -607,6 +629,9 @@ class LLD(LogicalDisk):
         aru = self.state.next_ts
         self.state.next_ts += 1
         self._open_arus[aru] = set()
+        tr = self.tracer
+        if tr:
+            tr.instant("lld.aru_begin", aru=aru)
         return aru
 
     def _commit_aru(self, aru: int) -> None:
@@ -616,6 +641,9 @@ class LLD(LogicalDisk):
         record.aru = aru
         self._log_record(record)
         del self._open_arus[aru]
+        tr = self.tracer
+        if tr:
+            tr.instant("lld.aru_end", aru=aru)
 
     def aru(self):
         """Context manager for a (possibly concurrent) atomic recovery unit.
@@ -679,34 +707,38 @@ class LLD(LogicalDisk):
         """
         self._require_init()
         assert self._open is not None
-        self.compression.drain_pipeline()
-        if self._open.is_empty:
-            self.stats.flushes_noop += 1
-            return
-        self.stats.flushes += 1
-        if self._open.fill_fraction >= self.config.partial_threshold:
-            self._seal_segment()
-        elif self._try_nvram_absorb():
-            self.stats.nvram_absorbed += 1
-        else:
-            self._write_partial()
-        # The acknowledgement point: everything this flush wrote must be
-        # on the medium before any later write. The crash-state explorer
-        # keys its durability oracle off this barrier.
-        self._disk_barrier("flush")
+        tr = self.tracer
+        with tr.span("lld.flush") if tr else NULL_SPAN:
+            self.compression.drain_pipeline()
+            if self._open.is_empty:
+                self.stats.flushes_noop += 1
+                return
+            self.stats.flushes += 1
+            if self._open.fill_fraction >= self.config.partial_threshold:
+                self._seal_segment()
+            elif self._try_nvram_absorb():
+                self.stats.nvram_absorbed += 1
+            else:
+                self._write_partial()
+            # The acknowledgement point: everything this flush wrote must
+            # be on the medium before any later write. The crash-state
+            # explorer keys its durability oracle off this barrier.
+            self._disk_barrier("flush")
 
     def _write_partial(self) -> None:
         """Write the below-threshold open segment to its slot."""
         assert self._open is not None
-        if self.config.delta_partial_flush:
-            if self._write_open_delta() == 0:
-                # Everything is already durable on disk: nothing to write.
-                self.stats.partial_delta_noop += 1
-                return
-        else:
-            self._write_open_image()
-        self._open.partial_writes += 1
-        self.stats.partial_segment_writes += 1
+        tr = self.tracer
+        with tr.span("lld.partial_flush", slot=self._open.index) if tr else NULL_SPAN:
+            if self.config.delta_partial_flush:
+                if self._write_open_delta() == 0:
+                    # Everything is already durable on disk: nothing to write.
+                    self.stats.partial_delta_noop += 1
+                    return
+            else:
+                self._write_open_image()
+            self._open.partial_writes += 1
+            self.stats.partial_segment_writes += 1
 
     def _try_nvram_absorb(self) -> bool:
         """Hold the partial segment in NVRAM instead of writing it.
@@ -718,24 +750,32 @@ class LLD(LogicalDisk):
         if self.nvram is None:
             return False
         assert self._open is not None
-        image = self._open.image()
-        if not self.nvram.store(self._open.index, image):
-            return False
-        # The NVRAM image supersedes whatever prefix is on disk, so the
-        # watermark no longer describes durable-on-disk bytes: reset it,
-        # and a later non-absorbed flush writes the full image again.
-        self._open.reset_durable()
-        min_ts = self._open.min_timestamp()
-        if min_ts is None:
-            self.state.summary_min_ts.pop(self._open.index, None)
-        else:
-            self.state.summary_min_ts[self._open.index] = min_ts
-        # Records re-logged out of pending-scrub slots are durable (in
-        # NVRAM) from this point; the scrub writes must not be reordered
-        # before anything still in flight.
-        self._disk_barrier("nvram-absorb")
-        self._process_pending_scrubs()
-        return True
+        tr = self.tracer
+        with (
+            tr.span("lld.nvram_absorb", slot=self._open.index) if tr else NULL_SPAN
+        ) as sp:
+            image = self._open.image()
+            absorbed = self.nvram.store(self._open.index, image)
+            if sp is not None:
+                sp.attrs["absorbed"] = absorbed
+                sp.attrs["image_bytes"] = len(image)
+            if not absorbed:
+                return False
+            # The NVRAM image supersedes whatever prefix is on disk, so the
+            # watermark no longer describes durable-on-disk bytes: reset it,
+            # and a later non-absorbed flush writes the full image again.
+            self._open.reset_durable()
+            min_ts = self._open.min_timestamp()
+            if min_ts is None:
+                self.state.summary_min_ts.pop(self._open.index, None)
+            else:
+                self.state.summary_min_ts[self._open.index] = min_ts
+            # Records re-logged out of pending-scrub slots are durable (in
+            # NVRAM) from this point; the scrub writes must not be reordered
+            # before anything still in flight.
+            self._disk_barrier("nvram-absorb")
+            self._process_pending_scrubs()
+            return True
 
     def flush_list(self, lid: int) -> None:
         """Durability for one list (the paper's easy ``fsync``)."""
@@ -924,18 +964,24 @@ class LLD(LogicalDisk):
         assert self._open is not None
         image = self._open.image()
         lba = self.layout.slot_lba(self._open.index)
-        if self.config.torn_write_protection and len(image) > SECTOR:
-            # Atomic summary update: everything past the header sector
-            # first, then the single-sector header flip. Until the flip,
-            # the slot's previous summary parses (its record bytes are a
-            # byte-identical prefix when re-flushing the same slot, and a
-            # stale summary losing its body only hides already-superseded
-            # records); after the flip, the new summary is complete.
-            self._disk_write(lba + 1, image[SECTOR:])
-            self._disk_barrier("summary-guard")
-            self._disk_write(lba, image[:SECTOR])
-        else:
-            self._disk_write(lba, image)
+        tr = self.tracer
+        with (
+            tr.span("lld.segment_image_write", slot=self._open.index, nbytes=len(image))
+            if tr
+            else NULL_SPAN
+        ):
+            if self.config.torn_write_protection and len(image) > SECTOR:
+                # Atomic summary update: everything past the header sector
+                # first, then the single-sector header flip. Until the flip,
+                # the slot's previous summary parses (its record bytes are a
+                # byte-identical prefix when re-flushing the same slot, and a
+                # stale summary losing its body only hides already-superseded
+                # records); after the flip, the new summary is complete.
+                self._disk_write(lba + 1, image[SECTOR:])
+                self._disk_barrier("summary-guard")
+                self._disk_write(lba, image[:SECTOR])
+            else:
+                self._disk_write(lba, image)
         self._open.mark_durable()
         self._after_open_segment_write()
 
@@ -964,34 +1010,45 @@ class LLD(LogicalDisk):
             self._write_open_image()
             self.stats.partial_full_writes += 1
             return 1
+        tr = self.tracer
         writes = 0
         base_lba = self.layout.slot_lba(seg.index)
         if seg.data_dirty:
             sector, tail = seg.data_tail()
-            self._disk_write(base_lba + self.config.summary_sectors + sector, tail)
+            with (
+                tr.span("lld.data_tail_write", slot=seg.index, nbytes=len(tail))
+                if tr
+                else NULL_SPAN
+            ):
+                self._disk_write(base_lba + self.config.summary_sectors + sector, tail)
             self.stats.partial_delta_data_bytes += len(tail)
             writes += 1
         if seg.summary_dirty:
             summary = seg.summary_delta_image()
-            if self.config.torn_write_protection:
-                # Sectors before the watermark sector are byte-identical
-                # on disk (records are append-only); rewrite only from the
-                # first sector with new record bytes, excluding sector 0,
-                # which is flipped atomically after the barrier.
-                tail_start = max(1, seg.durable_summary_used // SECTOR)
-                summary_tail = summary[tail_start * SECTOR :]
-                if summary_tail:
-                    self._disk_write(base_lba + tail_start, summary_tail)
-                    self.stats.partial_delta_summary_bytes += len(summary_tail)
+            with (
+                tr.span("lld.summary_write", slot=seg.index, nbytes=len(summary))
+                if tr
+                else NULL_SPAN
+            ):
+                if self.config.torn_write_protection:
+                    # Sectors before the watermark sector are byte-identical
+                    # on disk (records are append-only); rewrite only from the
+                    # first sector with new record bytes, excluding sector 0,
+                    # which is flipped atomically after the barrier.
+                    tail_start = max(1, seg.durable_summary_used // SECTOR)
+                    summary_tail = summary[tail_start * SECTOR :]
+                    if summary_tail:
+                        self._disk_write(base_lba + tail_start, summary_tail)
+                        self.stats.partial_delta_summary_bytes += len(summary_tail)
+                        writes += 1
+                    self._disk_barrier("summary-guard")
+                    self._disk_write(base_lba, summary[:SECTOR])
+                    self.stats.partial_delta_summary_bytes += SECTOR
                     writes += 1
-                self._disk_barrier("summary-guard")
-                self._disk_write(base_lba, summary[:SECTOR])
-                self.stats.partial_delta_summary_bytes += SECTOR
-                writes += 1
-            else:
-                self._disk_write(base_lba, summary)
-                self.stats.partial_delta_summary_bytes += len(summary)
-                writes += 1
+                else:
+                    self._disk_write(base_lba, summary)
+                    self.stats.partial_delta_summary_bytes += len(summary)
+                    writes += 1
         seg.mark_durable()
         self.stats.partial_delta_flushes += 1
         self._after_open_segment_write()
@@ -1040,10 +1097,12 @@ class LLD(LogicalDisk):
         assert self._open is not None
         if self._open.is_empty:
             return
-        self.compression.drain_pipeline()
-        self._write_open_image()
-        self.stats.segments_sealed += 1
-        self._switch_to_slot(self._pick_free_slot())
+        tr = self.tracer
+        with tr.span("lld.segment_seal", slot=self._open.index) if tr else NULL_SPAN:
+            self.compression.drain_pipeline()
+            self._write_open_image()
+            self.stats.segments_sealed += 1
+            self._switch_to_slot(self._pick_free_slot())
         if not self._cleaning:
             tombstones = len(self.state.tombstones)
             if tombstones > self.config.max_tombstones and not self._compacting:

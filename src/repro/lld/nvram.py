@@ -11,7 +11,7 @@ hardware would) and recovery replays it back onto the disk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 
 @dataclass
@@ -37,6 +37,14 @@ class NVRAM:
         self.stores += 1
         self.bytes_stored += len(image)
         return True
+
+    def snapshot(self) -> "NVRAM":
+        """Copy of the current counters (Snapshot protocol conformance).
+
+        The held image rides along (bytes are immutable), so the copy is
+        also a faithful picture of what would survive a crash right now.
+        """
+        return replace(self)
 
     def as_dict(self) -> dict:
         """Machine-readable counters for benchmark JSON reports."""

@@ -13,12 +13,14 @@ is needed — this is the recovery-strategy contribution of the paper.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.lld.config import SECTOR
 from repro.lld.records import CommitRecord, Record
 from repro.lld.segment import parse_summary
+from repro.obs.trace import NULL_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.lld.lld import LLD
@@ -39,6 +41,14 @@ class RecoveryReport:
     # Disk read requests the sweep issued; with coalescing this can be far
     # below segments_scanned (one request spans several slots' summaries).
     summary_read_requests: int = 0
+
+    def snapshot(self) -> "RecoveryReport":
+        """Copy of the report (Snapshot protocol conformance)."""
+        return dataclasses.replace(self)
+
+    def as_dict(self) -> dict:
+        """Machine-readable form for benchmark JSON reports."""
+        return dataclasses.asdict(self)
 
     def __str__(self) -> str:
         return (
@@ -109,6 +119,17 @@ def sweep_summaries(lld: "LLD") -> list[tuple[int, list[Record]]]:
 
 def run_recovery(lld: "LLD") -> RecoveryReport:
     """Rebuild ``lld.state`` from the on-disk summaries."""
+    tr = lld.tracer
+    with (tr.span("lld.recovery_sweep") if tr else NULL_SPAN) as sp:
+        report = _run_recovery(lld)
+        if sp is not None:
+            sp.attrs["summaries_valid"] = report.summaries_valid
+            sp.attrs["records_applied"] = report.records_applied
+            sp.attrs["arus_discarded"] = report.arus_discarded
+    return report
+
+
+def _run_recovery(lld: "LLD") -> RecoveryReport:
     report = RecoveryReport()
     t0 = lld.disk.clock.now
     report.segments_scanned = lld.layout.segment_count

@@ -1,0 +1,87 @@
+"""Observability: end-to-end tracing and a unified metrics registry.
+
+The paper's evaluation attributes cost to *layers* — file management vs
+disk management vs raw I/O (Tables 3–6, Fig. 1). This package makes that
+attribution a first-class capability of the reproduction:
+
+* :mod:`repro.obs.trace` — spans with causality. A :class:`Tracer` hands
+  out ``span(op, **attrs)`` context managers; each span is stamped with
+  virtual-clock start/end times (latency attribution uses *simulated*
+  time) and linked to the span active when it was opened, so one MINIX
+  ``fsync`` expands into its data-tail write, summary write, and barrier.
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` that adopts the
+  per-layer stats objects (``DiskStats``, ``LLDStats``, ``StoreStats``,
+  ``NVRAM``, ``RecoveryReport``) behind one :class:`Snapshot` protocol
+  and merges them into a single layer-prefixed dict.
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and JSONL
+  exporters plus loaders for round-tripping traces.
+* ``python -m repro.obs trace.json`` — a per-layer latency/ops text
+  dashboard rendered from an exported trace.
+
+Tracing is **off by default** and zero-overhead when disabled: the
+instrumented choke points guard every span with ``if tracer`` (a plain
+attribute-load-and-truth-test; a detached tracer is ``None``, a disabled
+one is falsy), so the paper's benchmark figures are untouched unless a
+tracer is explicitly attached with :func:`attach_tracer`.
+"""
+
+from repro.obs.export import (
+    export_chrome_trace,
+    export_jsonl,
+    load_chrome_trace,
+    load_jsonl,
+    load_trace,
+)
+from repro.obs.metrics import MetricsRegistry, Snapshot
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "Snapshot",
+    "attach_tracer",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_chrome_trace",
+    "load_jsonl",
+    "load_trace",
+]
+
+#: Attributes along which :func:`attach_tracer` descends the stack.
+_CHILD_ATTRS = ("store", "ld", "disk", "inner")
+
+
+def attach_tracer(tracer: Tracer | None, *components) -> Tracer | None:
+    """Attach ``tracer`` to ``components`` and every layer beneath them.
+
+    Duck-typed: starting from whatever is passed (a ``MinixFS``, an
+    ``LDStore``, an ``LLD``, a ``SimulatedDisk``, a ``RecordingDisk``
+    wrapper, ...) the helper follows the containment attributes
+    (``store``, ``ld``, ``disk``, ``inner``) and sets ``.tracer`` on each
+    instrumented object found, so one call instruments the whole FS → LD
+    → LLD → disk stack. Passing ``None`` detaches (restores the
+    zero-overhead path).
+
+    Only objects that already declare a ``tracer`` attribute are touched:
+    they are the ones whose choke points read it. Growing a *new*
+    attribute on an un-instrumented hot object (a ``MinixFS``, say) would
+    un-share its CPython key-sharing instance dict and slow every
+    attribute access on it — measurably, on exactly the objects this
+    package promises not to perturb.
+    """
+    seen: set[int] = set()
+    stack = [c for c in components if c is not None]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if hasattr(obj, "tracer"):
+            obj.tracer = tracer
+        for attr in _CHILD_ATTRS:
+            child = obj.__dict__.get(attr) if hasattr(obj, "__dict__") else None
+            if child is not None:
+                stack.append(child)
+    return tracer

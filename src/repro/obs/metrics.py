@@ -1,0 +1,95 @@
+"""The unified metrics registry: one ``collect()`` over every layer.
+
+Counters live where they are cheap to bump — ``DiskStats`` on the disk,
+``LLDStats`` on the LD, ``StoreStats`` on the MINIX store, ``NVRAM`` and
+``RecoveryReport`` on their subsystems. What was missing is one place
+that knows all of them: benchmarks used to hand-merge ``as_dict()``
+payloads, each with its own key conventions. The registry adopts any
+object satisfying the :class:`Snapshot` protocol under a layer name and
+merges everything into a single deterministic, layer-prefixed dict.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Snapshot(Protocol):
+    """What a stats object must provide to join the registry.
+
+    ``as_dict()`` returns the machine-readable counters/gauges/histograms
+    (plain JSON-serializable values); ``snapshot()`` returns an
+    independent copy for before/after deltas. ``DiskStats``, ``LLDStats``,
+    ``StoreStats``, ``NVRAM``, and ``RecoveryReport`` all conform.
+    """
+
+    def as_dict(self) -> dict: ...
+
+    def snapshot(self): ...
+
+
+class MetricsRegistry:
+    """Layer-named metric sources behind one ``collect()``.
+
+    Sources are either :class:`Snapshot` objects or zero-argument
+    callables returning a dict (for derived gauges). Layer names must be
+    dot-free — the dot is the prefix separator in the merged view.
+    """
+
+    def __init__(self) -> None:
+        self._sources: dict[str, object] = {}
+
+    def register(self, layer: str, source) -> None:
+        """Adopt ``source`` under ``layer``; duplicate layers are an error."""
+        if not layer or "." in layer:
+            raise ValueError(f"layer name must be non-empty and dot-free: {layer!r}")
+        if layer in self._sources:
+            raise ValueError(f"layer {layer!r} is already registered")
+        if not callable(getattr(source, "as_dict", None)) and not callable(source):
+            raise TypeError(
+                f"source for layer {layer!r} must provide as_dict() or be callable"
+            )
+        self._sources[layer] = source
+
+    def unregister(self, layer: str) -> None:
+        if layer not in self._sources:
+            raise KeyError(layer)
+        del self._sources[layer]
+
+    @property
+    def layers(self) -> list[str]:
+        """Registered layer names, sorted (the collection order)."""
+        return sorted(self._sources)
+
+    def __contains__(self, layer: str) -> bool:
+        return layer in self._sources
+
+    def _payload(self, layer: str) -> dict:
+        source = self._sources[layer]
+        as_dict = getattr(source, "as_dict", None)
+        payload = as_dict() if callable(as_dict) else source()  # type: ignore[operator]
+        if not isinstance(payload, dict):
+            raise TypeError(f"layer {layer!r} produced {type(payload).__name__}, not dict")
+        return payload
+
+    def collect_nested(self) -> dict:
+        """``{layer: payload}`` with layers and payload keys sorted."""
+        return {
+            layer: {key: payload[key] for key in sorted(payload)}
+            for layer in self.layers
+            for payload in (self._payload(layer),)
+        }
+
+    def collect(self) -> dict:
+        """One merged dict: ``{"<layer>.<key>": value}``, fully sorted.
+
+        Key order is deterministic (layers sorted, then keys sorted
+        within each layer), so two collections of identical state render
+        to identical JSON.
+        """
+        out: dict = {}
+        for layer, payload in self.collect_nested().items():
+            for key, value in payload.items():
+                out[f"{layer}.{key}"] = value
+        return out

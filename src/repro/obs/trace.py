@@ -1,0 +1,184 @@
+"""Spans with causality, stamped with virtual-clock time.
+
+A :class:`Tracer` is shared by every layer of one simulated stack. Each
+``with tracer.span("lld.flush", ...):`` opens a :class:`Span` whose
+parent is the span that was active when it opened, so causality follows
+the call structure across layers: ``fs.sync`` → ``lld.flush`` →
+``lld.data_tail_write`` → ``disk.write``. Start/end times come from the
+stack's :class:`~repro.sim.clock.VirtualClock`, so latency attribution
+uses *simulated* seconds — the same time base as every benchmark figure.
+
+The disabled path is the whole point of the design: instrumented choke
+points are written as::
+
+    tr = self.tracer
+    with tr.span("disk.read", lba=lba) if tr else NULL_SPAN:
+        ...
+
+``self.tracer`` is ``None`` by default (and a constructed-but-disabled
+``Tracer`` is falsy), so the disabled cost is one attribute load, one
+truth test, and entering the shared no-op :data:`NULL_SPAN` — no span
+object, no kwargs dict, no clock read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The singleton no-op span; re-enterable and stateless.
+NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class Span:
+    """One traced operation: a named interval of virtual time.
+
+    ``parent_id`` links the span to the operation that caused it (the
+    span active when this one opened); ``None`` marks a root. Instant
+    events (barriers, ARU begin/end) are spans with ``start == end``.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def layer(self) -> str:
+        """Layer prefix of the name (``disk.read`` → ``disk``)."""
+        return self.name.split(".", 1)[0]
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the span covers (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span: Span | None = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = Span(
+            span_id=tracer._next_id,
+            parent_id=tracer._stack[-1].span_id if tracer._stack else None,
+            name=self._name,
+            start=tracer.clock.now,
+            attrs=self._attrs,
+        )
+        tracer._next_id += 1
+        tracer._stack.append(span)
+        self.span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        span = self.span
+        assert span is not None
+        span.end = tracer.clock.now
+        if exc_type is not None:
+            span.attrs["error"] = exc_type.__name__
+        stack = tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - mis-nested exit; stay robust
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        tracer.spans.append(span)
+        return False
+
+
+class Tracer:
+    """Produces causally-linked spans stamped with virtual-clock time.
+
+    One tracer per simulated stack: attach the same object to the store,
+    the LD, and the disk (see :func:`repro.obs.attach_tracer`) so the
+    parent/child links cross layers. Finished spans accumulate in
+    :attr:`spans` in completion order; export them with
+    :func:`repro.obs.export.export_chrome_trace` or
+    :func:`~repro.obs.export.export_jsonl`.
+
+    A disabled tracer is falsy, which is what the instrumentation guards
+    test — attaching ``Tracer(clock, enabled=False)`` costs the same as
+    attaching nothing.
+    """
+
+    def __init__(self, clock, enabled: bool = True) -> None:
+        self.clock = clock
+        self.enabled = enabled
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    def __bool__(self) -> bool:
+        return self.enabled
+
+    def span(self, name: str, **attrs):
+        """Context manager tracing ``name``; yields the open :class:`Span`.
+
+        When the tracer is disabled this returns :data:`NULL_SPAN` (which
+        yields ``None``), so even unguarded call sites stay correct.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _SpanContext(self, name, attrs)
+
+    def instant(self, name: str, **attrs) -> Span | None:
+        """Record a zero-duration event (a barrier, an ARU boundary).
+
+        The event is parented to the currently-open span, so it is
+        causally linked exactly like a child span. Returns ``None`` when
+        disabled.
+        """
+        if not self.enabled:
+            return None
+        now = self.clock.now
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start=now,
+            end=now,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span (None outside any ``with span(...)``)."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans keep their links)."""
+        self.spans.clear()
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, {len(self.spans)} spans, depth={len(self._stack)})"

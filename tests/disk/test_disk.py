@@ -1,5 +1,7 @@
 """Unit tests for the simulated disk: data integrity and time accounting."""
 
+import dataclasses
+
 import pytest
 
 from repro.disk import DiskGeometry, SimulatedDisk, fast_test_disk
@@ -69,6 +71,19 @@ def test_stats_busy_time_tracks_clock(disk):
     disk.write(0, b"\x01" * 4096)
     disk.read(1000, 8)
     assert disk.stats.busy_time == pytest.approx(disk.clock.now)
+
+
+def test_stats_byte_totals_follow_geometry_sector_size():
+    geometry = dataclasses.replace(fast_test_disk(capacity_mb=8), sector_size=1024)
+    disk = SimulatedDisk(geometry, VirtualClock())
+    disk.write(0, b"\x42" * 1024 * 3)
+    disk.read(0, 2)
+    assert disk.stats.sector_size == 1024
+    assert disk.stats.bytes_written == 3 * 1024
+    assert disk.stats.bytes_read == 2 * 1024
+    payload = disk.stats.as_dict()
+    assert payload["sector_size"] == 1024
+    assert payload["bytes_written"] == 3 * 1024
 
 
 def test_seek_time_zero_for_same_cylinder(disk):

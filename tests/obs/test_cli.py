@@ -1,0 +1,58 @@
+"""The ``python -m repro.obs`` dashboard: layer attribution from a trace."""
+
+from repro.obs import Tracer, export_chrome_trace, export_jsonl
+from repro.obs.__main__ import main, render_dashboard, self_times
+from repro.sim import VirtualClock
+
+
+def make_trace():
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("fs.sync"):
+        clock.advance(0.010)  # 10 ms of fs-exclusive work
+        with tracer.span("lld.flush"):
+            clock.advance(0.005)
+            with tracer.span("disk.write", sectors=8):
+                clock.advance(0.030)
+        tracer.instant("disk.barrier")
+    return tracer.spans
+
+
+def test_self_times_are_exclusive():
+    spans = make_trace()
+    exclusive = self_times(spans)
+    by_name = {s.name: exclusive[s.span_id] for s in spans}
+    assert abs(by_name["fs.sync"] - 0.010) < 1e-12
+    assert abs(by_name["lld.flush"] - 0.005) < 1e-12
+    assert abs(by_name["disk.write"] - 0.030) < 1e-12
+    # Exclusive times sum to the wall window of the root span.
+    root = next(s for s in spans if s.parent_id is None)
+    assert abs(sum(exclusive.values()) - root.duration) < 1e-12
+
+
+def test_dashboard_attributes_time_to_layers():
+    text = render_dashboard(make_trace())
+    # The disk dominates (30 of 45 ms), so it ranks first.
+    layer_section = text.split("per-op latency")[0]
+    disk_line = next(l for l in layer_section.splitlines() if l.startswith("disk"))
+    assert "66.7%" in disk_line
+    assert "fs" in layer_section and "lld" in layer_section
+    assert "1 root span(s)" in text
+    assert "3 levels" in text
+
+
+def test_dashboard_handles_empty_trace():
+    assert "empty trace" in render_dashboard([])
+
+
+def test_cli_main_renders_both_formats(tmp_path, capsys):
+    spans = make_trace()
+    chrome = tmp_path / "trace.json"
+    jsonl = tmp_path / "trace.jsonl"
+    export_chrome_trace(spans, chrome)
+    export_jsonl(spans, jsonl)
+    for path in (chrome, jsonl):
+        assert main([str(path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "per-layer attribution" in out
+        assert "disk.write" in out

@@ -1,0 +1,109 @@
+"""Trace export round-trips: Chrome ``trace_event`` JSON and JSONL."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+    load_chrome_trace,
+    load_jsonl,
+    load_trace,
+)
+from repro.sim import VirtualClock
+
+
+@pytest.fixture
+def traced():
+    """A small multi-layer trace with nesting, siblings, and an instant."""
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("fs.sync", deferred=False):
+        clock.advance(0.001)
+        with tracer.span("lld.flush"):
+            with tracer.span("lld.data_tail_write", nbytes=4096):
+                clock.advance(0.0035)
+            with tracer.span("lld.summary_write", nbytes=512):
+                clock.advance(0.002)
+            tracer.instant("disk.barrier", label="flush")
+        clock.advance(0.0005)
+    return tracer.spans
+
+
+def _by_id(spans):
+    return {s.span_id: s for s in spans}
+
+
+def assert_round_trip_invariants(original, loaded):
+    assert len(loaded) == len(original)
+    out = _by_id(loaded)
+    src = _by_id(original)
+    assert out.keys() == src.keys()
+    for sid, span in out.items():
+        # Causality survives the round trip.
+        assert span.parent_id == src[sid].parent_id
+        assert span.name == src[sid].name
+        # Virtual-clock monotonicity: child inside parent's interval.
+        if span.parent_id is not None:
+            parent = out[span.parent_id]
+            assert span.start >= parent.start
+            assert span.end <= parent.end
+        assert span.end >= span.start
+
+
+def test_chrome_round_trip(tmp_path, traced):
+    path = tmp_path / "trace.json"
+    assert export_chrome_trace(traced, path) == str(path)
+    loaded = load_chrome_trace(path)
+    assert_round_trip_invariants(traced, loaded)
+    # Attrs ride along through the event args.
+    spans = {s.name: s for s in loaded}
+    assert spans["lld.data_tail_write"].attrs == {"nbytes": 4096}
+    assert spans["disk.barrier"].attrs == {"label": "flush"}
+    assert spans["disk.barrier"].duration == 0.0
+
+
+def test_chrome_file_is_loadable_trace_event_json(tmp_path, traced):
+    path = tmp_path / "trace.json"
+    export_chrome_trace(traced, path)
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    assert all(e["ph"] == "X" for e in events)
+    # Microsecond timestamps, start-time ordered.
+    ts = [e["ts"] for e in events]
+    assert ts == sorted(ts)
+    assert events[0]["ts"] == 0.0
+    assert payload["otherData"]["clock"] == "virtual"
+    # Category is the layer, for Perfetto's grouping.
+    assert {e["cat"] for e in events} == {"fs", "lld", "disk"}
+
+
+def test_jsonl_round_trip_is_exact(tmp_path, traced):
+    path = tmp_path / "trace.jsonl"
+    export_jsonl(traced, path)
+    loaded = load_jsonl(path)
+    assert_round_trip_invariants(traced, loaded)
+    # JSONL keeps exact floats: spans compare equal field by field.
+    src = _by_id(traced)
+    for span in loaded:
+        assert span == src[span.span_id]
+
+
+def test_load_trace_sniffs_both_formats(tmp_path, traced):
+    chrome = tmp_path / "a.json"
+    jsonl = tmp_path / "b.jsonl"
+    export_chrome_trace(traced, chrome)
+    export_jsonl(traced, jsonl)
+    assert {s.span_id for s in load_trace(chrome)} == {s.span_id for s in traced}
+    assert {s.span_id for s in load_trace(jsonl)} == {s.span_id for s in traced}
+
+
+def test_empty_trace_round_trips(tmp_path):
+    path = tmp_path / "empty.json"
+    export_chrome_trace([], path)
+    assert load_trace(path) == []
+    path = tmp_path / "empty.jsonl"
+    export_jsonl([], path)
+    assert load_jsonl(path) == []

@@ -1,0 +1,153 @@
+"""End-to-end instrumentation over the MINIX → LD → LLD → disk stack."""
+
+import pytest
+
+from repro.bench.builders import BuildSpec, build_minix_lld
+from repro.crashsim.recording import RecordingDisk
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.ld.hints import LIST_HEAD
+from repro.lld import LLD, LLDConfig
+from repro.obs import Tracer, attach_tracer
+from repro.sim import VirtualClock
+
+
+@pytest.fixture
+def spec():
+    return BuildSpec.from_scale(0.05)
+
+
+def fsync_some_files(fs, count=4, prefix="/f"):
+    for i in range(count):
+        fd = fs.open(f"{prefix}{i}", create=True)
+        fs.write(fd, bytes([i + 1]) * 1024)
+        fs.close(fd)
+        fs.sync()
+
+
+def descendants(spans, root):
+    children = {}
+    for s in spans:
+        if s.parent_id is not None:
+            children.setdefault(s.parent_id, []).append(s)
+    out, frontier = [], [root]
+    while frontier:
+        node = frontier.pop()
+        for child in children.get(node.span_id, ()):
+            out.append(child)
+            frontier.append(child)
+    return out
+
+
+def test_attach_tracer_reaches_every_instrumented_layer(spec):
+    fs, lld = build_minix_lld(spec)
+    assert fs.store.tracer is None
+    assert lld.tracer is None
+    assert lld.disk.tracer is None
+    tracer = Tracer(lld.disk.clock)
+    attach_tracer(tracer, fs)  # one entry point, walks the containment
+    assert fs.store.tracer is tracer
+    assert lld.tracer is tracer
+    assert lld.disk.tracer is tracer
+    # Un-instrumented objects are left untouched (no new attributes).
+    assert "tracer" not in vars(fs)
+    # Detach restores the zero-overhead default.
+    attach_tracer(None, fs)
+    assert fs.store.tracer is None
+    assert lld.tracer is None
+    assert lld.disk.tracer is None
+
+
+def test_attach_tracer_descends_through_disk_wrappers():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=8), VirtualClock())
+    wrapper = RecordingDisk(disk)
+    lld = LLD(wrapper, LLDConfig(segment_size=256 * 1024, checkpoint_slots=2))
+    lld.initialize()
+    tracer = Tracer(disk.clock)
+    attach_tracer(tracer, lld)
+    assert lld.tracer is tracer
+    assert disk.tracer is tracer  # reached through wrapper.inner
+
+
+def test_lld_inherits_tracer_from_disk():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=8), VirtualClock())
+    tracer = Tracer(disk.clock)
+    disk.tracer = tracer
+    # A post-crash LLD built over an already-traced disk keeps tracing
+    # without a second attach_tracer call.
+    lld = LLD(disk, LLDConfig(segment_size=256 * 1024, checkpoint_slots=2))
+    assert lld.tracer is tracer
+
+
+def test_fsync_expands_into_causally_linked_span_tree(spec):
+    fs, lld = build_minix_lld(spec)
+    tracer = attach_tracer(Tracer(lld.disk.clock), fs)
+    fsync_some_files(fs)
+    spans = tracer.spans
+    syncs = [s for s in spans if s.name == "fs.sync"]
+    assert syncs
+    # The slot's first flush writes a full image; later syncs take the
+    # delta path with a data-tail write. Pick the richest tree.
+    best = max(syncs, key=lambda s: len(descendants(spans, s)))
+    below = descendants(spans, best)
+    names = {s.name for s in below}
+    assert len(below) >= 3
+    assert "lld.flush" in names
+    assert "lld.data_tail_write" in names
+    assert "lld.summary_write" in names
+    assert "disk.barrier" in names
+    assert any(s.name == "disk.write" for s in below)
+    # Virtual-clock containment: children within the parent's interval.
+    for child in below:
+        assert child.start >= best.start
+        if child.end is not None:
+            assert child.end <= best.end
+    # Span layers cover the whole stack.
+    assert {s.layer for s in spans} >= {"fs", "lld", "disk"}
+
+
+def test_recovery_sweep_and_aru_events_are_traced():
+    disk = SimulatedDisk(hp_c3010(capacity_mb=8), VirtualClock())
+    lld = LLD(disk, LLDConfig(segment_size=256 * 1024, checkpoint_slots=2))
+    lld.initialize()
+    lid = lld.new_list()
+    lld.begin_aru()
+    bid = lld.new_block(lid, LIST_HEAD)
+    lld.write(bid, b"payload")
+    lld.end_aru()
+    lld.flush()
+    lld.crash()
+
+    tracer = Tracer(disk.clock)
+    disk.tracer = tracer
+    fresh = LLD(disk, lld.config)
+    fresh.initialize()
+    names = [s.name for s in tracer.spans]
+    assert "lld.recovery_sweep" in names
+    sweep = next(s for s in tracer.spans if s.name == "lld.recovery_sweep")
+    assert sweep.attrs["summaries_valid"] >= 1
+    assert sweep.duration > 0
+    assert fresh.read(bid).rstrip(b"\x00") == b"payload"
+
+    tracer.clear()
+    fresh.begin_aru()
+    bid2 = fresh.new_block(lid, bid)
+    fresh.write(bid2, b"more")
+    fresh.end_aru()
+    names = [s.name for s in tracer.spans]
+    assert "lld.aru_begin" in names
+    assert "lld.aru_end" in names
+
+
+def test_default_stack_traces_nothing_and_matches_untraced_io(spec):
+    plain_fs, plain_lld = build_minix_lld(spec)
+    traced_fs, traced_lld = build_minix_lld(spec)
+    tracer = attach_tracer(Tracer(traced_lld.disk.clock), traced_fs)
+
+    fsync_some_files(plain_fs)
+    fsync_some_files(traced_fs)
+
+    # Tracing observes; it never perturbs simulated time or disk I/O.
+    assert traced_lld.disk.clock.now == plain_lld.disk.clock.now
+    assert traced_lld.disk.stats.as_dict() == plain_lld.disk.stats.as_dict()
+    assert traced_lld.stats.as_dict() == plain_lld.stats.as_dict()
+    assert tracer.spans  # and it did observe

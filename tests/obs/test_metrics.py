@@ -1,0 +1,105 @@
+"""Snapshot protocol conformance and MetricsRegistry behaviour."""
+
+import json
+
+import pytest
+
+from repro.disk.stats import DiskStats
+from repro.fs.minix.store import StoreStats
+from repro.lld.lld import LLDStats
+from repro.lld.nvram import NVRAM
+from repro.lld.recovery import RecoveryReport
+from repro.obs import MetricsRegistry, Snapshot
+
+STATS_TYPES = [DiskStats, StoreStats, LLDStats, NVRAM, RecoveryReport]
+
+
+@pytest.mark.parametrize("stats_type", STATS_TYPES)
+def test_stats_objects_satisfy_snapshot_protocol(stats_type):
+    stats = stats_type()
+    assert isinstance(stats, Snapshot)
+    payload = stats.as_dict()
+    assert isinstance(payload, dict)
+    json.dumps(payload)  # every value is JSON-serializable
+
+
+@pytest.mark.parametrize("stats_type", STATS_TYPES)
+def test_snapshot_is_an_independent_copy(stats_type):
+    stats = stats_type()
+    before = stats.snapshot()
+    assert before is not stats
+    assert before.as_dict() == stats.as_dict()
+    # Mutating the original must not change the snapshot.
+    field = next(
+        k for k, v in vars(stats).items() if isinstance(v, int) and not k.startswith("_")
+    )
+    setattr(stats, field, getattr(stats, field) + 7)
+    assert before.as_dict() != stats.as_dict()
+
+
+def test_registry_collect_prefixes_layers():
+    registry = MetricsRegistry()
+    disk = DiskStats()
+    disk.record_request(8, write=True)
+    registry.register("disk", disk)
+    registry.register("derived", lambda: {"gauge": 42})
+    merged = registry.collect()
+    assert merged["disk.writes"] == 1
+    assert merged["disk.sectors_written"] == 8
+    assert merged["derived.gauge"] == 42
+    assert all("." in key for key in merged)
+
+
+def test_registry_collect_ordering_is_deterministic():
+    registry = MetricsRegistry()
+    registry.register("zeta", lambda: {"b": 2, "a": 1})
+    registry.register("alpha", lambda: {"z": 26, "m": 13})
+    keys = list(registry.collect())
+    assert keys == ["alpha.m", "alpha.z", "zeta.a", "zeta.b"]
+    nested = registry.collect_nested()
+    assert list(nested) == ["alpha", "zeta"]
+    assert list(nested["zeta"]) == ["a", "b"]
+
+
+def test_registry_rejects_bad_layers_and_sources():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.register("", DiskStats())
+    with pytest.raises(ValueError):
+        registry.register("disk.sub", DiskStats())
+    with pytest.raises(TypeError):
+        registry.register("disk", object())
+    registry.register("disk", DiskStats())
+    with pytest.raises(ValueError):
+        registry.register("disk", DiskStats())  # duplicate
+
+
+def test_registry_membership_and_unregister():
+    registry = MetricsRegistry()
+    registry.register("disk", DiskStats())
+    assert "disk" in registry
+    assert registry.layers == ["disk"]
+    registry.unregister("disk")
+    assert "disk" not in registry
+    with pytest.raises(KeyError):
+        registry.unregister("disk")
+
+
+def test_registry_rejects_non_dict_payload_at_collect():
+    registry = MetricsRegistry()
+    registry.register("bad", lambda: [1, 2, 3])
+    with pytest.raises(TypeError):
+        registry.collect()
+
+
+def test_disk_stats_bytes_follow_sector_size():
+    for sector_size in (512, 1024, 4096):
+        stats = DiskStats(sector_size=sector_size)
+        stats.record_request(3, write=False)
+        stats.record_request(5, write=True)
+        assert stats.bytes_read == 3 * sector_size
+        assert stats.bytes_written == 5 * sector_size
+        payload = stats.as_dict()
+        assert payload["sector_size"] == sector_size
+        assert payload["bytes_written"] == 5 * sector_size
+        assert stats.snapshot().sector_size == sector_size

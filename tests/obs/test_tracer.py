@@ -1,0 +1,119 @@
+"""Tracer semantics: causality, virtual-clock stamps, and the off path."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+from repro.obs.trace import _NullSpan
+from repro.sim import VirtualClock
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock)
+
+
+def test_span_records_virtual_time(tracer, clock):
+    clock.advance(1.5)
+    with tracer.span("disk.read", lba=7) as span:
+        clock.advance(0.25)
+    assert span.start == 1.5
+    assert span.end == 1.75
+    assert span.duration == 0.25
+    assert span.attrs == {"lba": 7}
+    assert span.name == "disk.read"
+    assert span.layer == "disk"
+    assert tracer.spans == [span]
+
+
+def test_nesting_links_parent_to_child(tracer):
+    with tracer.span("fs.sync") as parent:
+        with tracer.span("lld.flush") as child:
+            with tracer.span("disk.write") as grandchild:
+                pass
+    assert parent.parent_id is None
+    assert child.parent_id == parent.span_id
+    assert grandchild.parent_id == child.span_id
+    # Completion order: innermost closes first.
+    assert [s.name for s in tracer.spans] == ["disk.write", "lld.flush", "fs.sync"]
+
+
+def test_siblings_share_a_parent(tracer):
+    with tracer.span("fs.sync") as parent:
+        with tracer.span("lld.flush") as first:
+            pass
+        with tracer.span("lld.flush") as second:
+            pass
+    assert first.parent_id == parent.span_id
+    assert second.parent_id == parent.span_id
+    assert first.span_id != second.span_id
+
+
+def test_current_tracks_the_open_span(tracer):
+    assert tracer.current is None
+    with tracer.span("fs.sync") as outer:
+        assert tracer.current is outer
+        with tracer.span("lld.flush") as inner:
+            assert tracer.current is inner
+        assert tracer.current is outer
+    assert tracer.current is None
+
+
+def test_instant_is_zero_duration_and_causally_linked(tracer, clock):
+    clock.advance(2.0)
+    with tracer.span("lld.flush") as parent:
+        event = tracer.instant("disk.barrier", label="flush")
+    assert event.start == event.end == 2.0
+    assert event.duration == 0.0
+    assert event.parent_id == parent.span_id
+    assert event.attrs == {"label": "flush"}
+
+
+def test_exception_closes_span_and_tags_error(tracer, clock):
+    with pytest.raises(ValueError):
+        with tracer.span("lld.write") as span:
+            clock.advance(0.1)
+            raise ValueError("boom")
+    assert span.end == span.start + 0.1
+    assert span.attrs["error"] == "ValueError"
+    assert tracer.current is None
+    assert tracer.spans == [span]
+
+
+def test_disabled_tracer_is_falsy_and_records_nothing(clock):
+    tracer = Tracer(clock, enabled=False)
+    assert not tracer
+    assert tracer.span("disk.read") is NULL_SPAN
+    assert tracer.instant("disk.barrier") is None
+    with tracer.span("disk.read") as span:
+        pass
+    assert span is None
+    assert tracer.spans == []
+    assert Tracer(clock)  # enabled is truthy
+
+
+def test_null_span_is_a_shared_stateless_noop():
+    assert isinstance(NULL_SPAN, _NullSpan)
+    with NULL_SPAN as a:
+        with NULL_SPAN as b:  # re-entrant: same object, no state
+            assert a is None and b is None
+    with pytest.raises(RuntimeError):
+        with NULL_SPAN:
+            raise RuntimeError("not swallowed")
+
+
+def test_clear_drops_finished_spans(tracer):
+    with tracer.span("fs.sync"):
+        pass
+    assert tracer.spans
+    tracer.clear()
+    assert tracer.spans == []
+    # Causality still works after clear.
+    with tracer.span("fs.sync") as parent:
+        with tracer.span("lld.flush") as child:
+            pass
+    assert child.parent_id == parent.span_id
