@@ -1,0 +1,75 @@
+"""CI gate: fail if write-path CPU per op regressed vs the committed baseline.
+
+Usage::
+
+    python benchmarks/check_cpu_regression.py COMMITTED.json FRESH.json
+
+Absolute microseconds are machine-dependent (CI runners differ from the
+testbed that produced the committed report), so the comparison is made on
+*normalized* figures: each report carries the optimized write path's cost
+relative to the in-process ``legacy_codecs`` baseline measured in the
+same run (``baseline_us / speedup == current_us``, i.e. ``1/speedup``).
+A regression is the normalized cost rising more than ``SLACK`` (25%)
+above the committed value — the optimized path losing ground against the
+pinned reference implementation, on whatever hardware both arms just ran.
+
+The absolute ≥2x floor is asserted by ``test_cpu_profile.py`` itself;
+this script re-checks it from the fresh report as a belt-and-braces CI
+failure with a readable message.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SLACK = 1.25
+
+
+def normalized_write_cost(report: dict) -> float:
+    """Optimized write-path cost as a fraction of the legacy baseline."""
+    speedup = report["speedup"]["write"]
+    if not speedup or speedup <= 0:
+        raise SystemExit(f"bad write speedup in report: {speedup!r}")
+    return 1.0 / speedup
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as handle:
+        committed = json.load(handle)
+    with open(argv[2], encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    committed_cost = normalized_write_cost(committed)
+    fresh_cost = normalized_write_cost(fresh)
+    target = fresh.get("write_speedup_target", 2.0)
+    fresh_speedup = fresh["speedup"]["write"]
+
+    print(
+        f"write-path CPU, normalized to in-process legacy baseline: "
+        f"committed {committed_cost:.3f}, fresh {fresh_cost:.3f} "
+        f"(allowed <= {committed_cost * SLACK:.3f})"
+    )
+    print(f"write-path speedup: fresh {fresh_speedup:.2f}x (floor {target}x)")
+
+    failed = False
+    if fresh_cost > committed_cost * SLACK:
+        print(
+            f"FAIL: write-path CPU per op regressed "
+            f"{(fresh_cost / committed_cost - 1) * 100:.1f}% > "
+            f"{(SLACK - 1) * 100:.0f}% vs committed baseline"
+        )
+        failed = True
+    if fresh_speedup < target:
+        print(f"FAIL: write-path speedup {fresh_speedup:.2f}x below {target}x floor")
+        failed = True
+    if not failed:
+        print("OK: write-path CPU within threshold")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

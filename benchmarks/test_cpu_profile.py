@@ -1,0 +1,295 @@
+"""Python CPU cost of the hot paths, gated against the in-tree baseline.
+
+The simulated-I/O benchmarks charge virtual time; this one measures what
+the *host* pays to run them — process-time per operation for the write,
+read, flush, and recovery paths. The baseline is not a committed number
+from some other machine: ``LLDConfig(legacy_codecs=True)`` selects the
+pre-optimization reference implementations (per-entry record codecs,
+rebuild-the-summary-per-flush, ``bytes`` image materialization) preserved
+in ``repro.lld.segment``/``records``, so every run measures baseline and
+current on the same interpreter and hardware and the speedup ratio is
+machine-independent. CI regression-checks the *ratio*, not wall-clock
+(``benchmarks/check_cpu_regression.py``).
+
+Also verified here, because a CPU pass must be purely a CPU pass:
+
+* the zero-copy invariant — the optimized write path materializes **zero**
+  intermediate bytes while assembling segment images (the
+  ``segment_bytes_copied`` counter, which the legacy path pushes into the
+  tens of megabytes);
+* simulated figures are byte-identical between the two codec generations
+  (same clock, same disk counters — the wire format did not change);
+* stats bookkeeping (``DiskStats.record_request`` and the LLD write
+  counters) costs < 3% of write-path CPU, measured analytically like
+  ``test_obs_overhead``: per-call cost × exact call count ÷ workload CPU.
+
+Results land in ``BENCH_cpu_profile.json`` through the unified
+MetricsRegistry path. Acceptance: ≥2x on the write path.
+"""
+
+import gc
+import time
+from pathlib import Path
+
+from repro.bench import render_table, stack_registry, write_json_report
+from repro.bench.builders import BuildSpec, build_minix_lld, fresh_disk
+from repro.disk.stats import DiskStats
+from repro.ld.hints import LIST_HEAD
+from repro.lld import LLD, LLDConfig
+from benchmarks.conftest import emit
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cpu_profile.json"
+
+COLUMNS = ["baseline µs/op", "current µs/op", "speedup"]
+
+FILE_BYTES = 1024
+ARMS = ("baseline", "current")  # legacy_codecs=True vs False
+
+#: The CI gate: write-path CPU per op must improve at least this much
+#: over the in-process legacy baseline.
+WRITE_SPEEDUP_TARGET = 2.0
+STATS_COST_LIMIT = 0.03
+
+
+def _cpu(fn, *args):
+    """Process-time of one call, GC parked (same discipline as obs bench)."""
+    gc.collect()
+    gc.disable()
+    t0 = time.process_time()
+    out = fn(*args)
+    elapsed = time.process_time() - t0
+    gc.enable()
+    return elapsed, out
+
+
+def _ld_config(spec: BuildSpec, legacy: bool) -> LLDConfig:
+    return LLDConfig(
+        segment_size=spec.segment_size,
+        block_size=spec.block_size,
+        checkpoint_slots=2,
+        legacy_codecs=legacy,
+    )
+
+
+def run_ld_write_path(spec: BuildSpec, legacy: bool):
+    """Raw LD fsync loop: new_block + write + flush per op.
+
+    This is the write path the optimization targeted — every op packs
+    records into the open summary and runs a delta partial flush — with
+    no file-system layer diluting the measurement.
+    """
+    lld = LLD(fresh_disk(spec), _ld_config(spec, legacy))
+    lld.initialize()
+    payload = bytes(range(256)) * (spec.block_size // 256)
+    lid = lld.new_list()
+    count = spec.small_file_count(1000)
+
+    def work():
+        prev = LIST_HEAD
+        for _ in range(count):
+            bid = lld.new_block(lid, prev)
+            prev = bid
+            lld.write(bid, payload)
+            lld.flush()
+
+    elapsed, _ = _cpu(work)
+    return lld, count, elapsed
+
+
+def run_fs_write_path(spec: BuildSpec, legacy: bool):
+    """Full-stack fsync workload (the BENCH_write_path shape)."""
+    fs, lld = build_minix_lld(spec, legacy_codecs=legacy)
+    count = spec.small_file_count(1000)
+
+    def work():
+        for i in range(count):
+            fd = fs.open(f"/f{i}", create=True)
+            fs.write(fd, bytes([i % 251 + 1]) * FILE_BYTES)
+            fs.close(fd)
+            fs.sync()
+
+    elapsed, _ = _cpu(work)
+    return fs, lld, count, elapsed
+
+
+def run_read_path(fs, count: int):
+    """Read back every file written by the full-stack write phase."""
+
+    def work():
+        for i in range(count):
+            fd = fs.open(f"/f{i}")
+            fs.read(fd, FILE_BYTES)
+            fs.close(fd)
+
+    elapsed, _ = _cpu(work)
+    return elapsed
+
+
+def run_flush_path(spec: BuildSpec, legacy: bool):
+    """Partial-flush component: one buffered write, many durable points.
+
+    Each op re-flushes a growing open summary, so per-entry codecs pay
+    the quadratic rebuild this phase exists to expose.
+    """
+    lld = LLD(fresh_disk(spec), _ld_config(spec, legacy))
+    lld.initialize()
+    lid = lld.new_list()
+    payload = b"\xa5" * 256
+    count = spec.small_file_count(1000)
+    prev = LIST_HEAD
+    bids = []
+    for _ in range(count):
+        bid = lld.new_block(lid, prev)
+        prev = bid
+        bids.append(bid)
+
+    def work():
+        for bid in bids:
+            lld.write(bid, payload)
+            lld.flush()
+
+    elapsed, _ = _cpu(work)
+    return count, elapsed
+
+
+def run_recovery_path(lld: LLD):
+    """Crash the written stack and time the one-sweep recovery's CPU."""
+    lld.crash()
+    fresh = LLD(lld.disk, lld.config)
+    elapsed, _ = _cpu(fresh.initialize)
+    records = fresh.recovery_report.records_seen if fresh.recovery_report else 0
+    return fresh, records, elapsed
+
+
+def stats_cost_fraction(lld: LLD, write_cpu: float) -> float:
+    """Analytic stats cost: per-call ns × exact call count ÷ workload CPU.
+
+    ``record_request`` runs once per disk request; the LLD write counters
+    (seven ``+=`` per logical write) are bounded by the same
+    microbenchmark shape, so one measured per-call figure times the exact
+    request+write count bounds the whole stats bill.
+    """
+    probe = DiskStats()
+    iterations = 50_000
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            probe.record_request(8, True)
+        best = min(best, time.perf_counter() - t0)
+    per_call = best / iterations
+    calls = lld.disk.stats.requests + lld.stats.blocks_written
+    return per_call * calls / write_cpu if write_cpu else 0.0
+
+
+def test_cpu_profile(spec, benchmark):
+    results: dict[str, dict] = {arm: {} for arm in ARMS}
+    sim_signatures = {}
+    stacks = {}
+
+    def run_all():
+        for arm in ARMS:
+            legacy = arm == "baseline"
+            # LD write path (the gated figure).
+            lld_w, n_w, cpu_w = run_ld_write_path(spec, legacy)
+            results[arm]["write_us_per_op"] = cpu_w / n_w * 1e6
+            results[arm]["write_ops"] = n_w
+            results[arm]["bytes_copied"] = lld_w.stats.segment_bytes_copied
+            results[arm]["stats_cost_fraction"] = stats_cost_fraction(lld_w, cpu_w)
+            # The CPU pass must not perturb the simulation: identical
+            # virtual time and disk counters for both codec generations.
+            sim_signatures[arm] = (
+                lld_w.disk.clock.now,
+                lld_w.disk.stats.as_dict(),
+            )
+            # Flush path (quadratic-exposure shape).
+            n_f, cpu_f = run_flush_path(spec, legacy)
+            results[arm]["flush_us_per_op"] = cpu_f / n_f * 1e6
+            # Full stack: write, then read back, then recover.
+            fs, lld_fs, n_fs, cpu_fs = run_fs_write_path(spec, legacy)
+            results[arm]["fs_write_us_per_op"] = cpu_fs / n_fs * 1e6
+            results[arm]["read_us_per_op"] = run_read_path(fs, n_fs) / n_fs * 1e6
+            recovered, n_rec, cpu_rec = run_recovery_path(lld_fs)
+            results[arm]["recovery_ms"] = cpu_rec * 1e3
+            results[arm]["recovery_records"] = n_rec
+            if arm == "current":
+                stacks["fs"], stacks["lld"] = fs, recovered
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    base, cur = results["baseline"], results["current"]
+    speedup = {
+        "write": base["write_us_per_op"] / cur["write_us_per_op"],
+        "fs_write": base["fs_write_us_per_op"] / cur["fs_write_us_per_op"],
+        "read": base["read_us_per_op"] / cur["read_us_per_op"],
+        "flush": base["flush_us_per_op"] / cur["flush_us_per_op"],
+        "recovery": (
+            base["recovery_ms"] / cur["recovery_ms"] if cur["recovery_ms"] else None
+        ),
+    }
+
+    rows = {
+        "write (LD fsync)": ("write_us_per_op", "write"),
+        "write (full stack)": ("fs_write_us_per_op", "fs_write"),
+        "read (full stack)": ("read_us_per_op", "read"),
+        "flush (buffered)": ("flush_us_per_op", "flush"),
+    }
+    table = {
+        label: {
+            "baseline µs/op": base[key],
+            "current µs/op": cur[key],
+            "speedup": speedup[sp],
+        }
+        for label, (key, sp) in rows.items()
+    }
+    emit(
+        render_table(
+            f"Hot-path CPU — {base['write_ops']} ops/phase, "
+            "baseline = legacy_codecs reference",
+            COLUMNS,
+            table,
+            note=(
+                f"bytes copied assembling images: baseline "
+                f"{base['bytes_copied']:,}, current {cur['bytes_copied']:,}; "
+                f"recovery {base['recovery_ms']:.2f} -> "
+                f"{cur['recovery_ms']:.2f} ms"
+            ),
+        )
+    )
+
+    sim_identical = sim_signatures["baseline"] == sim_signatures["current"]
+
+    # The report flows through the unified registry: the current stack's
+    # layer counters plus a derived `cpu` source carrying this benchmark's
+    # own figures.
+    cpu_payload = {
+        "baseline": base,
+        "current": cur,
+        "speedup": speedup,
+        "sim_figures_identical": sim_identical,
+    }
+    registry = stack_registry(fs=stacks["fs"], lld=stacks["lld"])
+    registry.register("cpu", lambda: cpu_payload)
+
+    report = {
+        "benchmark": "cpu_profile",
+        "scale": spec.scale,
+        "file_bytes": FILE_BYTES,
+        "write_speedup_target": WRITE_SPEEDUP_TARGET,
+        "baseline": base,
+        "current": cur,
+        "speedup": speedup,
+        "sim_figures_identical": sim_identical,
+        "metrics": registry.collect(),
+    }
+    emit(f"wrote {write_json_report(REPORT_PATH, report)}")
+
+    # Acceptance: the optimized write path is at least 2x cheaper than the
+    # in-process legacy baseline, copies nothing assembling images, keeps
+    # stats cost under 3%, and leaves the simulation byte-identical.
+    assert speedup["write"] >= WRITE_SPEEDUP_TARGET, speedup
+    assert cur["bytes_copied"] == 0
+    assert base["bytes_copied"] > 0
+    assert cur["stats_cost_fraction"] < STATS_COST_LIMIT, cur
+    assert sim_identical

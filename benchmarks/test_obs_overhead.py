@@ -29,6 +29,7 @@ one round (~60 fsyncs) lands in ``trace.json``.
 import gc
 import statistics
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.bench import render_table, write_json_report
@@ -43,6 +44,70 @@ TRACE_PATH = Path(__file__).resolve().parent.parent / "trace.json"
 MODES = ("none", "disabled", "enabled")
 ROUNDS = 12
 FILE_BYTES = 1024
+
+
+# ----------------------------------------------------------------------
+# Pre-optimization enabled path, replicated for a paired before/after.
+#
+# Absolute nanoseconds are machine- and load-dependent, so the report
+# carries both generations measured in the *same process* (same strategy
+# as the ``legacy_codecs`` arm in test_cpu_profile.py): a Span without
+# ``slots=True`` (per-instance ``__dict__``) and a span() that allocates
+# a fresh context object on every call instead of using the freelist.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _LegacySpan:
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+
+class _LegacySpanContext:
+    __slots__ = ("_tracer", "_name", "_attrs", "span")
+
+    def __init__(self, tracer, name, attrs) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self.span = None
+
+    def __enter__(self):
+        tracer = self._tracer
+        span = _LegacySpan(
+            span_id=tracer._next_id,
+            parent_id=tracer._stack[-1].span_id if tracer._stack else None,
+            name=self._name,
+            start=tracer.clock.now,
+            attrs=self._attrs,
+        )
+        tracer._next_id += 1
+        tracer._stack.append(span)
+        self.span = span
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        span = self.span
+        span.end = tracer.clock.now
+        stack = tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        tracer.spans.append(span)
+        return False
+
+
+class _LegacyTracer(Tracer):
+    """Tracer with the pre-freelist, pre-slots enabled path."""
+
+    def span(self, name, **attrs):
+        if not self.enabled:
+            return NULL_SPAN
+        return _LegacySpanContext(self, name, attrs)
 
 
 class _GuardSite:
@@ -69,6 +134,40 @@ def guard_ns(tracer, iterations: int = 100_000, reps: int = 5) -> float:
             site.op()
         best = min(best, time.perf_counter() - t0)
     return best / iterations * 1e9
+
+
+def enabled_guard_ns(
+    tracer_cls=Tracer, iterations: int = 100_000, reps: int = 5
+) -> float:
+    """Enabled-path cost per span site (fresh tracer per rep).
+
+    A new tracer each rep keeps the finished-span list from growing
+    across reps; within one rep its amortized append is part of the cost
+    being measured. Pass ``_LegacyTracer`` to measure the pre-freelist
+    generation under identical conditions.
+    """
+    best = float("inf")
+    for _ in range(reps):
+        site = _GuardSite(tracer_cls(VirtualClock(), enabled=True))
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            site.op()
+        best = min(best, time.perf_counter() - t0)
+    return best / iterations * 1e9
+
+
+def paired_enabled_ns(trials: int = 3):
+    """Interleaved before/after enabled-path costs (min over trials).
+
+    Interleaving cancels load drift: each generation is sampled at the
+    same points in time, so the *ratio* is trustworthy even when the
+    absolute numbers wander with machine load.
+    """
+    legacy, current = float("inf"), float("inf")
+    for _ in range(trials):
+        legacy = min(legacy, enabled_guard_ns(_LegacyTracer))
+        current = min(current, enabled_guard_ns(Tracer))
+    return legacy, current
 
 
 def build_stack(spec, mode: str):
@@ -156,6 +255,7 @@ def test_obs_overhead(spec):
     # The analytic bound: measured per-site cost delta x exact hit count.
     none_ns = guard_ns(None)
     disabled_ns = guard_ns(Tracer(VirtualClock(), enabled=False))
+    legacy_enabled_ns, enabled_ns = paired_enabled_ns()
     per_site_delta_ns = max(0.0, disabled_ns - none_ns)
     workload_cpu = statistics.median(times["none"])
     disabled_overhead = per_site_delta_ns * 1e-9 * guard_hits / workload_cpu
@@ -211,7 +311,9 @@ def test_obs_overhead(spec):
             rows,
             note=(
                 f"guard site: {none_ns:.0f} ns detached, {disabled_ns:.0f} ns "
-                f"disabled; {guard_hits} hits/round -> disabled path adds "
+                f"disabled, {enabled_ns:.0f} ns enabled ({legacy_enabled_ns:.0f} "
+                f"ns before slots+freelist, paired in-run); "
+                f"{guard_hits} hits/round -> disabled path adds "
                 f"{disabled_overhead * 100:.3f}%"
             ),
         )
@@ -223,7 +325,13 @@ def test_obs_overhead(spec):
         "rounds": ROUNDS,
         "files_per_round": count,
         "file_bytes": FILE_BYTES,
-        "guard_site_ns": {"none": none_ns, "disabled": disabled_ns},
+        "guard_site_ns": {
+            "none": none_ns,
+            "disabled": disabled_ns,
+            "enabled": enabled_ns,
+            "enabled_before_lazy_alloc": legacy_enabled_ns,
+        },
+        "enabled_span_speedup": legacy_enabled_ns / enabled_ns,
         "guard_hits_per_round": guard_hits,
         "disabled_overhead_fraction": disabled_overhead,
         "end_to_end_median_ratio": ratio,

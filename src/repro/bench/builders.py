@@ -85,6 +85,7 @@ def build_minix_lld(
     readahead: bool = False,
     delta_partial_flush: bool = True,
     flush_batch: int = 1,
+    legacy_codecs: bool = False,
 ):
     """MINIX LLD (0.5 MB segments, 4 KB blocks, read-ahead off).
 
@@ -102,6 +103,7 @@ def build_minix_lld(
         checkpoint_slots=2,
         read_cache_enabled=read_cache,
         delta_partial_flush=delta_partial_flush,
+        legacy_codecs=legacy_codecs,
     )
     lld = LLD(fresh_disk(spec), config)
     lld.initialize()

@@ -72,35 +72,46 @@ class SimulatedDisk:
         return delta * geo.sector_time
 
     def _charge_access(self, lba: int, nsectors: int) -> None:
-        """Advance the clock by the mechanical cost of one request."""
+        """Advance the clock by the mechanical cost of one request.
+
+        Attribute lookups are hoisted out of the transfer loop, but every
+        ``advance``/``+=`` keeps the original per-component order: the
+        rotation position is a function of the clock, and the simulated
+        figures (and their float rounding) must stay byte-identical
+        across CPU-only optimization passes.
+        """
         geo = self.geometry
         stats = self.stats
+        advance = self.clock.advance
 
         overhead = geo.request_overhead_ms / 1000.0
-        self.clock.advance(overhead)
+        advance(overhead)
         stats.overhead_time += overhead
 
         cylinder, _head, sector = geo.decompose(lba)
         seek = self.seek_time(self._current_cylinder, cylinder)
         if seek:
-            self.clock.advance(seek)
+            advance(seek)
             stats.seek_time += seek
             stats.seeks += 1
         self._current_cylinder = cylinder
 
         rotation = self._rotational_wait(sector)
         if rotation:
-            self.clock.advance(rotation)
+            advance(rotation)
             stats.rotation_time += rotation
 
         # Transfer, accounting for track and cylinder crossings.
+        decompose = geo.decompose
+        sector_time = geo.sector_time
+        sectors_per_track = geo.sectors_per_track
         remaining = nsectors
         position = lba
         while remaining > 0:
-            _cyl, _head, sec = geo.decompose(position)
-            run = min(remaining, geo.sectors_per_track - sec)
-            transfer = run * geo.sector_time
-            self.clock.advance(transfer)
+            _cyl, _head, sec = decompose(position)
+            run = min(remaining, sectors_per_track - sec)
+            transfer = run * sector_time
+            advance(transfer)
             stats.transfer_time += transfer
             remaining -= run
             position += run
@@ -108,12 +119,12 @@ class SimulatedDisk:
                 next_cyl = geo.cylinder_of(position)
                 if next_cyl != self._current_cylinder:
                     cyl_seek = self.seek_time(self._current_cylinder, next_cyl)
-                    self.clock.advance(cyl_seek)
+                    advance(cyl_seek)
                     stats.seek_time += cyl_seek
                     self._current_cylinder = next_cyl
                 else:
                     switch = geo.head_switch_ms / 1000.0
-                    self.clock.advance(switch)
+                    advance(switch)
                     stats.head_switch_time += switch
 
     # ------------------------------------------------------------------

@@ -68,15 +68,23 @@ class DiskStats:
         return self.sectors_written * self.sector_size
 
     def record_request(self, nsectors: int, write: bool) -> None:
-        """Count one request of ``nsectors`` sectors."""
+        """Count one request of ``nsectors`` sectors.
+
+        Runs once per disk request: the histograms are bumped with plain
+        ``dict.get`` increments, which skip ``Counter.__missing__``
+        dispatch for new bucket keys (Counter is a dict subclass, so the
+        buckets stay Counter-compatible for every consumer).
+        """
         if write:
             self.writes += 1
             self.sectors_written += nsectors
-            self.write_request_sizes[nsectors] += 1
+            sizes = self.write_request_sizes
+            sizes[nsectors] = sizes.get(nsectors, 0) + 1
         else:
             self.reads += 1
             self.sectors_read += nsectors
-        self.request_sizes[nsectors] += 1
+        sizes = self.request_sizes
+        sizes[nsectors] = sizes.get(nsectors, 0) + 1
 
     def snapshot(self) -> "DiskStats":
         """Copy of the current counters (for before/after deltas)."""

@@ -190,7 +190,9 @@ class CheckpointRegion:
             )
             state.blocks[bid] = entry
             if seg >= 0:
-                state.usage[seg] = state.usage.get(seg, 0) + stored
+                # Through _adjust_usage so the live-byte total stays in
+                # sync (free_slots is inert until init_slots runs).
+                state._adjust_usage(seg, stored)
                 state.segment_blocks.setdefault(seg, set()).add(bid)
         for _ in range(nlists):
             lid, first, hints = _LIST.unpack_from(payload, offset)

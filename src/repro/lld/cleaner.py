@@ -226,9 +226,9 @@ class Cleaner:
         # crash anywhere in between stays recoverable.
         if relogged_any:
             lld.flush()
-        from repro.lld.segment import serialize_summary
+        from repro.lld.segment import empty_summary
 
-        empty = serialize_summary([], lld.config.summary_capacity)
+        empty = empty_summary(lld.config.summary_capacity)
         for slot in sorted(scrub_set):
             if slot != lld.open_segment_index and state.usage.get(slot, 0) <= 0:
                 lld.disk.write(lld.layout.slot_lba(slot), empty)
@@ -268,9 +268,9 @@ class Cleaner:
         if has_homed:
             lld._relog_slot(slot)
             lld.flush()
-        from repro.lld.segment import serialize_summary
+        from repro.lld.segment import empty_summary
 
-        image = serialize_summary([], lld.config.summary_capacity)
+        image = empty_summary(lld.config.summary_capacity)
         lld.disk.write(lld.layout.slot_lba(slot), image)
         state.summary_min_ts.pop(slot, None)
 

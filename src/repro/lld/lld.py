@@ -38,7 +38,12 @@ from repro.lld.records import (
 from repro.lld.readcache import ReadCache
 from repro.lld.recovery import RecoveryReport, run_recovery
 from repro.obs.trace import NULL_SPAN
-from repro.lld.segment import DiskLayout, OpenSegment
+from repro.lld.segment import (
+    DiskLayout,
+    LegacyOpenSegment,
+    OpenSegment,
+    empty_summary,
+)
 from repro.lld.state import KIND_FIRST, KIND_LINK, KIND_META, NO_SEGMENT, LLDState
 
 
@@ -88,6 +93,9 @@ class LLDStats:
     partial_delta_noop: int = 0  # partial flushes with nothing new to write
     partial_delta_summary_bytes: int = 0
     partial_delta_data_bytes: int = 0
+    # Intermediate bytes materialized while assembling segment images —
+    # 0 on the zero-copy path, large on legacy_codecs (see segment.py).
+    segment_bytes_copied: int = 0
 
     extra: dict = field(default_factory=dict)
 
@@ -373,7 +381,8 @@ class LLD(LogicalDisk):
         total = last.offset + last.stored_length - first.offset
         lba, nsectors, skew = self.layout.block_extent(segment, first.offset, total)
         buf = self.disk.read(lba, nsectors)
-        self.stats.coalesced_runs[len(run)] += 1
+        runs = self.stats.coalesced_runs
+        runs[len(run)] = runs.get(len(run), 0) + 1
         out: list[bytes] = []
         for _bid, entry in run:
             start = skew + (entry.offset - first.offset)
@@ -388,7 +397,8 @@ class LLD(LogicalDisk):
 
     def _write_one(self, bid: int, data: bytes) -> None:
         entry = self.state.block(bid)
-        data = bytes(data)
+        if not isinstance(data, bytes):
+            data = bytes(data)
         if len(data) > self.config.block_size:
             raise ValueError(
                 f"block of {len(data)} bytes exceeds maximum block size "
@@ -775,6 +785,7 @@ class LLD(LogicalDisk):
             # before anything still in flight.
             self._disk_barrier("nvram-absorb")
             self._process_pending_scrubs()
+            self._drain_copy_counter()
             return True
 
     def flush_list(self, lid: int) -> None:
@@ -857,7 +868,7 @@ class LLD(LogicalDisk):
         """Assign a timestamp, append to the open summary, apply to state."""
         assert self._open is not None
         guard = self.layout.segment_count
-        while not self._open.fits(0, record.packed_size):
+        while not self._open.fits(0, record.SIZE):
             # Sealing may refill the fresh segment (cleaning, re-logging),
             # so re-check until the record fits.
             self._seal_segment()
@@ -921,7 +932,7 @@ class LLD(LogicalDisk):
     ) -> None:
         """Place block data in the open segment and log its BLOCK record."""
         assert self._open is not None
-        record_size = BlockRecord().packed_size
+        record_size = BlockRecord.SIZE
         guard = self.layout.segment_count
         while not self._open.fits(len(stored), record_size):
             # Sealing may refill the fresh segment (cleaning, re-logging),
@@ -1054,9 +1065,17 @@ class LLD(LogicalDisk):
         self._after_open_segment_write()
         return writes
 
+    def _drain_copy_counter(self) -> None:
+        """Fold the open segment's copy counter into the stats."""
+        seg = self._open
+        if seg is not None and seg.bytes_copied:
+            self.stats.segment_bytes_copied += seg.bytes_copied
+            seg.bytes_copied = 0
+
     def _after_open_segment_write(self) -> None:
         """Shared bookkeeping once the open segment's slot is up to date."""
         assert self._open is not None
+        self._drain_copy_counter()
         # Order the image write before everything that follows it — in
         # particular the summary scrubs below, which are only safe once
         # the records re-logged out of the scrubbed slots are durable in
@@ -1080,10 +1099,8 @@ class LLD(LogicalDisk):
         """
         if not self._pending_scrubs:
             return
-        from repro.lld.segment import serialize_summary
-
         open_index = self._open.index if self._open is not None else -1
-        empty = serialize_summary([], self.config.summary_capacity)
+        empty = empty_summary(self.config.summary_capacity)
         for slot in sorted(self._pending_scrubs):
             if slot == open_index or self.state.usage.get(slot, 0) > 0:
                 continue
@@ -1154,7 +1171,8 @@ class LLD(LogicalDisk):
         stale summary then carries the re-logged tuples, atomically.
         """
         self._pending_scrubs.discard(slot)
-        self._open = OpenSegment(slot, self.config)
+        segment_cls = LegacyOpenSegment if self.config.legacy_codecs else OpenSegment
+        self._open = segment_cls(slot, self.config)
         self._relog_slot(slot)
 
     def _relog_slot(self, slot: int) -> None:

@@ -16,6 +16,21 @@ recovery is last-writer-wins per key:
 ``LIST_DEAD``  tombstone: the list was freed
 ``COMMIT``     an explicit ARU committed (paper's EndARU tag)
 =============  =========================================================
+
+Two codec generations share this wire format:
+
+* The **per-entry reference codec** — :meth:`Record.pack` /
+  :func:`unpack_record` — encodes header and payload as two separate
+  ``struct`` calls joined by bytes concatenation. It is kept verbatim as
+  the readable specification of the format, the equivalence oracle for
+  the property tests, and the measured baseline of the CPU benchmark.
+* The **batch codec** — :meth:`Record.pack_into` /
+  :func:`encode_records_into` / :func:`decode_records` — uses one
+  precompiled combined :class:`struct.Struct` per record type (header +
+  payload in a single C call) writing straight into a caller-owned
+  buffer, so a whole summary is encoded or decoded in one pass with no
+  intermediate ``bytes`` objects. Both produce byte-identical output
+  (enforced by ``tests/lld/test_records_property.py``).
 """
 
 from __future__ import annotations
@@ -58,6 +73,11 @@ class Record:
 
     TYPE = 0
     _PAYLOAD = struct.Struct("<")
+    #: Combined header+payload Struct, memoized per class at import time
+    #: (see ``_finalize_wire``); one ``pack_into``/``unpack_from`` call
+    #: covers the whole record.
+    _WIRE = struct.Struct("<BBIQ")
+    SIZE = _WIRE.size
 
     def _payload_values(self) -> tuple:
         return ()
@@ -67,12 +87,31 @@ class Record:
         return cls()
 
     def pack(self) -> bytes:
+        """Per-entry reference encoder (header + payload, concatenated)."""
         head = _HEADER.pack(self.TYPE, self.flags, self.aru, self.timestamp)
         return head + self._PAYLOAD.pack(*self._payload_values())
 
+    def pack_into(self, buf, offset: int) -> int:
+        """Batch encoder: one combined-Struct write into ``buf``.
+
+        Byte-identical to :meth:`pack` (little-endian formats concatenate
+        without padding); returns the offset past the record.
+        """
+        wire = self._WIRE
+        wire.pack_into(
+            buf,
+            offset,
+            self.TYPE,
+            self.flags,
+            self.aru,
+            self.timestamp,
+            *self._payload_values(),
+        )
+        return offset + wire.size
+
     @property
     def packed_size(self) -> int:
-        return _HEADER.size + self._PAYLOAD.size
+        return self._WIRE.size
 
 
 @dataclass
@@ -230,8 +269,19 @@ _RECORD_TYPES: dict[int, type[Record]] = {
 }
 
 
+def _finalize_wire() -> None:
+    """Memoize one combined header+payload Struct per record class."""
+    for cls in _RECORD_TYPES.values():
+        payload_fmt = cls._PAYLOAD.format.lstrip("<")
+        cls._WIRE = struct.Struct("<BBIQ" + payload_fmt)
+        cls.SIZE = cls._WIRE.size
+
+
+_finalize_wire()
+
+
 def unpack_record(buf: bytes, offset: int) -> tuple[Record, int]:
-    """Decode one record at ``offset``; returns (record, next offset)."""
+    """Per-entry reference decoder at ``offset``; returns (record, next offset)."""
     if offset + _HEADER.size > len(buf):
         raise ValueError("truncated record header")
     rtype, flags, aru, timestamp = _HEADER.unpack_from(buf, offset)
@@ -247,3 +297,97 @@ def unpack_record(buf: bytes, offset: int) -> tuple[Record, int]:
     record.aru = aru
     record.timestamp = timestamp
     return record, offset + payload.size
+
+
+# ----------------------------------------------------------------------
+# Batch codec
+# ----------------------------------------------------------------------
+#
+# Decoding dispatches on the type byte through a dense table of
+# (combined Struct, maker) pairs. Each maker builds the record from the
+# full unpacked tuple ``(type, flags, aru, timestamp, *payload)`` with a
+# single positional dataclass call — no kwargs, no post-hoc attribute
+# assignment. Dataclass field order is (timestamp, aru, flags, *payload
+# fields), fixed by the class definitions above.
+
+
+def _make_link(v) -> LinkRecord:
+    return LinkRecord(v[3], v[2], v[1], v[4], None if v[5] == NONE_ID else v[5])
+
+
+def _make_block(v) -> BlockRecord:
+    return BlockRecord(v[3], v[2], v[1], v[4], v[5], v[6], v[7], v[8])
+
+
+def _make_block_dead(v) -> BlockDeadRecord:
+    return BlockDeadRecord(v[3], v[2], v[1], v[4], v[5])
+
+
+def _make_list_first(v) -> ListFirstRecord:
+    return ListFirstRecord(v[3], v[2], v[1], v[4], None if v[5] == NONE_ID else v[5])
+
+
+def _make_list_meta(v) -> ListMetaRecord:
+    return ListMetaRecord(v[3], v[2], v[1], v[4], v[5])
+
+
+def _make_list_dead(v) -> ListDeadRecord:
+    return ListDeadRecord(v[3], v[2], v[1], v[4], v[5])
+
+
+def _make_commit(v) -> CommitRecord:
+    return CommitRecord(v[3], v[2], v[1])
+
+
+#: Dense type-byte dispatch: ``_DECODERS[type]`` is (wire Struct, maker)
+#: or None for unknown types.
+_DECODERS: list[tuple[struct.Struct, object] | None] = [None] * 256
+for _cls, _maker in (
+    (LinkRecord, _make_link),
+    (BlockRecord, _make_block),
+    (BlockDeadRecord, _make_block_dead),
+    (ListFirstRecord, _make_list_first),
+    (ListMetaRecord, _make_list_meta),
+    (ListDeadRecord, _make_list_dead),
+    (CommitRecord, _make_commit),
+):
+    _DECODERS[_cls.TYPE] = (_cls._WIRE, _maker)
+del _cls, _maker
+
+
+def encode_records_into(buf, offset: int, records) -> int:
+    """Pack ``records`` back to back into ``buf`` starting at ``offset``.
+
+    Returns the offset past the last record. The caller is responsible
+    for capacity (sum the ``SIZE`` class constants); output bytes are
+    identical to concatenating :meth:`Record.pack` results.
+    """
+    for record in records:
+        offset = record.pack_into(buf, offset)
+    return offset
+
+
+def decode_records(buf, offset: int, end: int, nrecords: int) -> tuple[list[Record], int]:
+    """Decode ``nrecords`` consecutive records from ``buf[offset:end]``.
+
+    One pass, one combined-Struct ``unpack_from`` per record. ``buf`` may
+    be any buffer object (bytes, bytearray, memoryview) — no slicing, no
+    intermediate copies. Raises :class:`ValueError` on truncation or an
+    unknown type byte, exactly like :func:`unpack_record`.
+    """
+    out: list[Record] = []
+    append = out.append
+    decoders = _DECODERS
+    for _ in range(nrecords):
+        if offset >= end:
+            raise ValueError("truncated record header")
+        entry = decoders[buf[offset]]
+        if entry is None:
+            raise ValueError(f"unknown record type {buf[offset]}")
+        wire, make = entry
+        next_offset = offset + wire.size
+        if next_offset > end:
+            raise ValueError("truncated record payload")
+        append(make(wire.unpack_from(buf, offset)))
+        offset = next_offset
+    return out, offset

@@ -19,7 +19,7 @@ from typing import TYPE_CHECKING
 
 from repro.lld.config import SECTOR
 from repro.lld.records import CommitRecord, Record
-from repro.lld.segment import parse_summary
+from repro.lld.segment import decode_summary_into, parse_summary_legacy
 from repro.obs.trace import NULL_SPAN
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -93,27 +93,37 @@ def sweep_summaries(lld: "LLD") -> list[tuple[int, list[Record]]]:
     than paying another per-request overhead (see ``_sweep_batch_size``).
     Summaries that fail to parse — never written, torn, or corrupt — are
     skipped; a damaged slot can never abort the sweep.
+
+    Each summary is decoded in one batch pass (``decode_summary_into``)
+    straight out of a ``memoryview`` of the sweep request's buffer —
+    coalesced requests are never sliced into per-slot ``bytes`` copies.
     """
     result: list[tuple[int, list[Record]]] = []
     config = lld.config
+    legacy = config.legacy_codecs
     segment_count = lld.layout.segment_count
     batch = _sweep_batch_size(lld)
     stride = config.sectors_per_segment * SECTOR
+    summary_capacity = config.summary_capacity
     for start in range(0, segment_count, batch):
         count = min(batch, segment_count - start)
         if count == 1:
             images = [lld.disk.read(lld.layout.slot_lba(start), config.summary_sectors)]
         else:
             span = (count - 1) * config.sectors_per_segment + config.summary_sectors
-            buf = lld.disk.read(lld.layout.slot_lba(start), span)
+            buf = memoryview(lld.disk.read(lld.layout.slot_lba(start), span))
             images = [
-                buf[i * stride : i * stride + config.summary_capacity]
-                for i in range(count)
+                buf[i * stride : i * stride + summary_capacity] for i in range(count)
             ]
         for i, image in enumerate(images):
-            records = parse_summary(image)
-            if records is not None:
-                result.append((start + i, records))
+            if legacy:
+                records = parse_summary_legacy(bytes(image))
+                if records is not None:
+                    result.append((start + i, records))
+            else:
+                records = []
+                if decode_summary_into(image, records):
+                    result.append((start + i, records))
     return result
 
 

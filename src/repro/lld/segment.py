@@ -4,6 +4,22 @@ Each segment slot on disk holds its summary at a fixed offset (the start of
 the slot), followed by the data area. Fixed summary locations are what make
 one-sweep recovery possible (paper §3.2): recovery reads
 ``summary_capacity`` bytes per slot and nothing else.
+
+Hot-path CPU architecture (DESIGN.md §11): the open segment keeps its
+entire slot image — summary area followed by data area — in **one**
+zero-initialized ``bytearray`` laid out exactly as the slot is on disk.
+Records are packed into the summary area *once*, at append time, with a
+running CRC32; the 12 mutable header bytes (record count, body length,
+CRC) are patched in place when an image is needed. ``image()``,
+``summary_delta_image()``, and ``data_tail()`` therefore return
+``memoryview`` slices of the live buffer: a partial flush reaches
+:meth:`repro.disk.SimulatedDisk.write` with **zero intermediate bytes
+copies** (the ``bytes_copied`` counter asserts this in tests). The
+pre-PR rebuild-per-flush implementation is preserved verbatim as
+:class:`LegacyOpenSegment` / :func:`serialize_summary_legacy` /
+:func:`parse_summary_legacy` — the measured baseline of
+``benchmarks/test_cpu_profile.py`` and the byte-identity oracle of the
+property tests.
 """
 
 from __future__ import annotations
@@ -13,14 +29,101 @@ import zlib
 
 from repro.disk.disk import SimulatedDisk
 from repro.lld.config import SECTOR, LLDConfig
-from repro.lld.records import Record, unpack_record
+from repro.lld.records import (
+    Record,
+    decode_records,
+    encode_records_into,
+    unpack_record,
+)
 
 SUMMARY_MAGIC = b"LDS1"
 _SUMMARY_HEADER = struct.Struct("<4sIII")  # magic, nrecords, body_len, crc32
+#: The mutable header fields (record count, body length, CRC) at offset 4;
+#: the magic before them is written once per template and never patched.
+_SUMMARY_MUTABLE = struct.Struct("<III")
+_HEADER_SIZE = _SUMMARY_HEADER.size
+
+#: Cached all-empty summary images per capacity (the reseal/scrub
+#: template): header with zero records, zero body, CRC32 of b"" (== 0),
+#: zero padding. Scrubs and slot invalidation reuse one immutable object
+#: instead of re-serializing an empty record list each time.
+_EMPTY_SUMMARIES: dict[int, bytes] = {}
+
+
+def empty_summary(capacity: int) -> bytes:
+    """The cached empty-summary image of exactly ``capacity`` bytes."""
+    image = _EMPTY_SUMMARIES.get(capacity)
+    if image is None:
+        image = serialize_summary([], capacity)
+        _EMPTY_SUMMARIES[capacity] = image
+    return image
 
 
 def serialize_summary(records: list[Record], capacity: int) -> bytes:
-    """Pack records into a summary image of exactly ``capacity`` bytes."""
+    """Pack records into a summary image of exactly ``capacity`` bytes.
+
+    Batch codec: one preallocated buffer, one combined-Struct write per
+    record, one CRC pass — byte-identical to
+    :func:`serialize_summary_legacy`.
+    """
+    body_len = sum(r.SIZE for r in records)
+    total = _HEADER_SIZE + body_len
+    if total > capacity:
+        raise ValueError(f"summary of {total} bytes exceeds capacity {capacity}")
+    buf = bytearray(capacity)
+    end = encode_records_into(buf, _HEADER_SIZE, records)
+    _SUMMARY_HEADER.pack_into(
+        buf, 0, SUMMARY_MAGIC, len(records), body_len,
+        zlib.crc32(memoryview(buf)[_HEADER_SIZE:end]),
+    )
+    return bytes(buf)
+
+
+def decode_summary_into(image, out: list[Record]) -> bool:
+    """Batch-decode a summary image, appending its records to ``out``.
+
+    Returns False (with ``out`` untouched) for invalid/foreign bytes:
+    bad magic, truncated body, checksum mismatch, or a CRC-consistent
+    body whose records fail to parse — the cases recovery must tolerate
+    (never-written slots, torn writes). ``image`` may be any buffer
+    object; a ``memoryview`` decodes without copying a single byte.
+    """
+    if len(image) < _HEADER_SIZE:
+        return False
+    magic, nrecords, body_len, crc = _SUMMARY_HEADER.unpack_from(image, 0)
+    if magic != SUMMARY_MAGIC:
+        return False
+    end = _HEADER_SIZE + body_len
+    if end > len(image):
+        return False
+    if zlib.crc32(memoryview(image)[_HEADER_SIZE:end]) != crc:
+        return False
+    try:
+        records, offset = decode_records(image, _HEADER_SIZE, end, nrecords)
+    except (ValueError, struct.error):
+        # A CRC-valid body whose records fail to parse mid-record (e.g. a
+        # torn write that happened to keep the checksum consistent) must
+        # degrade to skip-segment, never propagate out of the sweep.
+        return False
+    if offset != end:
+        return False
+    out.extend(records)
+    return True
+
+
+def parse_summary(image) -> list[Record] | None:
+    """Decode a summary image; returns None for invalid/foreign bytes."""
+    out: list[Record] = []
+    return out if decode_summary_into(image, out) else None
+
+
+# ----------------------------------------------------------------------
+# Per-entry reference codec (pre-PR implementation, kept verbatim)
+# ----------------------------------------------------------------------
+
+
+def serialize_summary_legacy(records: list[Record], capacity: int) -> bytes:
+    """Per-entry reference encoder: pack each record, join, pad."""
     body = b"".join(record.pack() for record in records)
     header = _SUMMARY_HEADER.pack(
         SUMMARY_MAGIC, len(records), len(body), zlib.crc32(body)
@@ -33,12 +136,8 @@ def serialize_summary(records: list[Record], capacity: int) -> bytes:
     return image + b"\x00" * (capacity - len(image))
 
 
-def parse_summary(image: bytes) -> list[Record] | None:
-    """Decode a summary image; returns None for invalid/foreign bytes.
-
-    Invalid means: bad magic, truncated body, or checksum mismatch — the
-    cases recovery must tolerate (never-written slots, torn writes).
-    """
+def parse_summary_legacy(image: bytes) -> list[Record] | None:
+    """Per-entry reference decoder (one ``unpack_record`` per record)."""
     if len(image) < _SUMMARY_HEADER.size:
         return None
     magic, nrecords, body_len, crc = _SUMMARY_HEADER.unpack_from(image, 0)
@@ -57,9 +156,6 @@ def parse_summary(image: bytes) -> list[Record] | None:
             record, offset = unpack_record(body, offset)
             records.append(record)
     except (ValueError, struct.error):
-        # A CRC-valid body whose records fail to parse mid-record (e.g. a
-        # torn write that happened to keep the checksum consistent) must
-        # degrade to skip-segment, never propagate out of the sweep.
         return None
     if offset != body_len:
         return None
@@ -111,17 +207,43 @@ class DiskLayout:
 
 
 class OpenSegment:
-    """The segment currently being filled in main memory."""
+    """The segment currently being filled in main memory.
+
+    The in-memory representation *is* the slot image: one zero-filled
+    buffer holding the summary area (with its header template — magic
+    written once, mutable fields patched on demand) followed by the data
+    area. Appends pack record bytes and copy block data straight into
+    their final on-disk positions, so every image the flush paths need is
+    a ``memoryview`` slice of this buffer, never a rebuilt ``bytes``.
+    """
 
     def __init__(self, index: int, config: LLDConfig) -> None:
         self.index = index
         self.config = config
-        self.data = bytearray(config.data_capacity)
+        summary_capacity = config.summary_capacity
+        # Slot image: [summary area][data area], zero-initialized so
+        # padding (summary tail, final data sector) is free.
+        self._image_buf = bytearray(summary_capacity + config.data_capacity)
+        self._image_view = memoryview(self._image_buf)
+        self._image_buf[0:4] = SUMMARY_MAGIC  # header template, written once
+        self._summary_capacity = summary_capacity
+        #: Data area as a writable zero-copy window into the slot image.
+        self.data = self._image_view[summary_capacity:]
         self.used = 0
         self.records: list[Record] = []
         # Summary bytes already committed to records (plus header).
-        self.summary_used = _SUMMARY_HEADER.size
+        self.summary_used = _HEADER_SIZE
+        #: Running CRC32 over the packed record bytes (records are
+        #: append-only, so the checksum never needs a full re-pass).
+        self._crc = 0
+        #: Oldest record timestamp, maintained incrementally.
+        self._min_ts: int | None = None
         self.partial_writes = 0
+        #: Intermediate bytes materialized while assembling flush images;
+        #: stays 0 on this implementation (the zero-copy invariant the
+        #: CPU benchmark and tests assert). LegacyOpenSegment counts its
+        #: rebuild/concat copies here.
+        self.bytes_copied = 0
         # Durable watermark: how much of this segment is already on disk
         # and unchanged since the last flush. Data and records are append-
         # only inside an open segment, so a flush only needs to write the
@@ -129,17 +251,21 @@ class OpenSegment:
         # watermark. Seals, NVRAM absorption, and slot switches reset it.
         self.durable_data = 0
         self.durable_records = 0
-        self.durable_summary_used = _SUMMARY_HEADER.size
+        self.durable_summary_used = _HEADER_SIZE
 
     def fits(self, data_len: int, record_bytes: int) -> bool:
         """Can ``data_len`` data bytes plus ``record_bytes`` of records fit?"""
         return (
             self.used + data_len <= self.config.data_capacity
-            and self.summary_used + record_bytes <= self.config.summary_capacity
+            and self.summary_used + record_bytes <= self._summary_capacity
         )
 
     def append_data(self, data: bytes) -> int:
-        """Copy block data into the segment; returns its data offset."""
+        """Copy block data into the segment; returns its data offset.
+
+        The single necessary copy of the write path: payload bytes land
+        directly at their final position in the slot image.
+        """
         if self.used + len(data) > self.config.data_capacity:
             raise ValueError("segment data area overflow")
         offset = self.used
@@ -148,12 +274,24 @@ class OpenSegment:
         return offset
 
     def append_record(self, record: Record) -> None:
-        """Log a record into the summary."""
-        size = record.packed_size
-        if self.summary_used + size > self.config.summary_capacity:
+        """Log a record into the summary (packed exactly once, here)."""
+        end = self.summary_used + record.SIZE
+        if end > self._summary_capacity:
             raise ValueError("segment summary overflow")
+        record.pack_into(self._image_buf, self.summary_used)
+        self._crc = zlib.crc32(self._image_view[self.summary_used : end], self._crc)
+        self.summary_used = end
         self.records.append(record)
-        self.summary_used += size
+        ts = record.timestamp
+        if self._min_ts is None or ts < self._min_ts:
+            self._min_ts = ts
+
+    def _patch_summary_header(self) -> None:
+        """Refresh the mutable header fields over the packed record bytes."""
+        _SUMMARY_MUTABLE.pack_into(
+            self._image_buf, 4,
+            len(self.records), self.summary_used - _HEADER_SIZE, self._crc,
+        )
 
     def read_data(self, offset: int, length: int) -> bytes:
         """Serve a block from the in-memory copy (no disk access)."""
@@ -170,22 +308,22 @@ class OpenSegment:
     def is_empty(self) -> bool:
         return self.used == 0 and not self.records
 
-    def image(self) -> bytes:
-        """Serialize summary + used data, padded to whole sectors.
+    def image(self):
+        """Summary + used data, padded to whole sectors — a zero-copy view.
 
-        This is the single contiguous write LLD issues per segment
-        (full or partial).
+        This is the single contiguous write LLD issues per segment (full
+        or partial). The returned ``memoryview`` aliases the live buffer;
+        consumers that retain image bytes past the call (the sector
+        store, NVRAM, the crash-sim journal) copy at their boundary.
         """
-        summary = serialize_summary(self.records, self.config.summary_capacity)
-        payload = summary + bytes(self.data[: self.used])
-        pad = (-len(payload)) % SECTOR
-        return payload + b"\x00" * pad
+        self._patch_summary_header()
+        end = self._summary_capacity + self.used
+        end += (-end) % SECTOR
+        return self._image_view[:end]
 
     def min_timestamp(self) -> int | None:
         """Oldest record timestamp in the summary (None when empty)."""
-        if not self.records:
-            return None
-        return min(record.timestamp for record in self.records)
+        return self._min_ts
 
     # ------------------------------------------------------------------
     # Durable watermark (delta partial flushes)
@@ -216,9 +354,9 @@ class OpenSegment:
         """Forget the watermark (slot content on disk is stale/absent)."""
         self.durable_data = 0
         self.durable_records = 0
-        self.durable_summary_used = _SUMMARY_HEADER.size
+        self.durable_summary_used = _HEADER_SIZE
 
-    def summary_delta_image(self) -> bytes:
+    def summary_delta_image(self):
         """Summary prefix covering header + all record bytes, whole sectors.
 
         Record bytes already on disk are unchanged (records are append-
@@ -226,21 +364,90 @@ class OpenSegment:
         body length, CRC — changes with every append, so the delta write
         starts at sector 0 and runs through the sector holding the last
         record byte: one contiguous write, much shorter than the full
-        ``summary_capacity`` for lightly-filled summaries.
+        ``summary_capacity`` for lightly-filled summaries. Zero-copy: the
+        record bytes are already packed in place, only the 12 mutable
+        header bytes are patched.
         """
-        image = serialize_summary(self.records, self.config.summary_capacity)
+        self._patch_summary_header()
         nsectors = (self.summary_used + SECTOR - 1) // SECTOR
-        return image[: nsectors * SECTOR]
+        return self._image_view[: nsectors * SECTOR]
 
-    def data_tail(self) -> tuple[int, bytes]:
-        """New data past the watermark: ``(data-area sector, padded bytes)``.
+    def data_tail(self):
+        """New data past the watermark: ``(data-area sector, padded view)``.
 
         The tail starts at the sector containing the first non-durable
         byte; re-writing that boundary sector is safe because the durable
-        bytes sharing it are unchanged (appends only). The final sector is
-        padded from the zero-initialized data buffer.
+        bytes sharing it are unchanged (appends only). The final sector's
+        padding is the zero-initialized data buffer itself — the returned
+        ``memoryview`` costs no copy.
         """
         start_sector = self.durable_data // SECTOR
         start = start_sector * SECTOR
         end = self.used + (-self.used) % SECTOR
-        return start_sector, bytes(self.data[start:end])
+        return start_sector, self.data[start:end]
+
+
+class LegacyOpenSegment(OpenSegment):
+    """Pre-PR open segment: summary rebuilt from scratch on every image.
+
+    The reference implementation the CPU benchmark measures as its
+    baseline (selected with ``LLDConfig(legacy_codecs=True)``): separate
+    data buffer, per-entry ``pack`` + join on every ``image()`` /
+    ``summary_delta_image()`` call, full scans for the minimum timestamp,
+    and ``bytes`` materialization (counted in ``bytes_copied``) on every
+    flush path.
+    """
+
+    def __init__(self, index: int, config: LLDConfig) -> None:
+        self.index = index
+        self.config = config
+        self.data = bytearray(config.data_capacity)
+        self.used = 0
+        self.records: list[Record] = []
+        self.summary_used = _HEADER_SIZE
+        self.partial_writes = 0
+        self.bytes_copied = 0
+        self.durable_data = 0
+        self.durable_records = 0
+        self.durable_summary_used = _HEADER_SIZE
+
+    def fits(self, data_len: int, record_bytes: int) -> bool:
+        return (
+            self.used + data_len <= self.config.data_capacity
+            and self.summary_used + record_bytes <= self.config.summary_capacity
+        )
+
+    def append_record(self, record: Record) -> None:
+        size = record.packed_size
+        if self.summary_used + size > self.config.summary_capacity:
+            raise ValueError("segment summary overflow")
+        self.records.append(record)
+        self.summary_used += size
+
+    def image(self) -> bytes:
+        summary = serialize_summary_legacy(self.records, self.config.summary_capacity)
+        payload = summary + bytes(self.data[: self.used])
+        pad = (-len(payload)) % SECTOR
+        image = payload + b"\x00" * pad
+        self.bytes_copied += len(summary) + len(payload) + len(image)
+        return image
+
+    def min_timestamp(self) -> int | None:
+        if not self.records:
+            return None
+        return min(record.timestamp for record in self.records)
+
+    def summary_delta_image(self) -> bytes:
+        image = serialize_summary_legacy(self.records, self.config.summary_capacity)
+        nsectors = (self.summary_used + SECTOR - 1) // SECTOR
+        delta = image[: nsectors * SECTOR]
+        self.bytes_copied += len(image) + len(delta)
+        return delta
+
+    def data_tail(self) -> tuple[int, bytes]:
+        start_sector = self.durable_data // SECTOR
+        start = start_sector * SECTOR
+        end = self.used + (-self.used) % SECTOR
+        tail = bytes(self.data[start:end])
+        self.bytes_copied += len(tail)
+        return start_sector, tail

@@ -82,6 +82,10 @@ class LLDState:
         self.list_order: list[int] = []
 
         self.usage: dict[int, int] = {}  # segment -> live data bytes
+        # Running total of live bytes (clamped per segment), maintained by
+        # _adjust_usage so the write path's free-space check is O(1)
+        # instead of a sum over every segment.
+        self._live_bytes = 0
         self.segment_blocks: dict[int, set[int]] = {}  # segment -> live bids
         # Incrementally-maintained set of slots with no live data, so a
         # seal picks its next slot without rescanning every segment.
@@ -146,9 +150,12 @@ class LLDState:
         }
 
     def _adjust_usage(self, segment: int, delta: int) -> None:
-        """Change a segment's live-byte count, maintaining the free set."""
-        new = self.usage.get(segment, 0) + delta
+        """Change a segment's live-byte count, maintaining the free set
+        and the clamped live-byte total."""
+        old = self.usage.get(segment, 0)
+        new = old + delta
         self.usage[segment] = new
+        self._live_bytes += (new if new > 0 else 0) - (old if old > 0 else 0)
         if new > 0:
             self.free_slots.discard(segment)
         elif 0 <= segment < self.segment_count:
@@ -355,8 +362,8 @@ class LLDState:
         raise NoSuchBlockError(bid)
 
     def live_bytes(self) -> int:
-        """Total live block-data bytes across all segments."""
-        return sum(max(0, used) for used in self.usage.values())
+        """Total live block-data bytes across all segments (O(1))."""
+        return self._live_bytes
 
     def min_summary_timestamp(
         self, exclude: int | set[int] | None = None

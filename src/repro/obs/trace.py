@@ -42,13 +42,17 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One traced operation: a named interval of virtual time.
 
     ``parent_id`` links the span to the operation that caused it (the
     span active when this one opened); ``None`` marks a root. Instant
     events (barriers, ARU begin/end) are spans with ``start == end``.
+
+    ``slots=True`` because spans are allocated on every traced operation
+    of an enabled stack: no per-span ``__dict__``, smaller and faster to
+    create (measured in ``BENCH_obs_overhead.json``).
     """
 
     span_id: int
@@ -110,7 +114,19 @@ class _SpanContext:
             except ValueError:
                 pass
         tracer.spans.append(span)
+        # Recycle this context: the span object it produced lives on in
+        # tracer.spans, but the context itself is single-use plumbing and
+        # the next tracer.span() call can reuse it instead of allocating.
+        pool = tracer._ctx_pool
+        if len(pool) < _CTX_POOL_LIMIT:
+            self.span = None
+            pool.append(self)
         return False
+
+
+#: Recycled span contexts kept per tracer; nesting depth bounds how many
+#: are live at once, so a small pool already serves every call site.
+_CTX_POOL_LIMIT = 64
 
 
 class Tracer:
@@ -134,6 +150,7 @@ class Tracer:
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._next_id = 1
+        self._ctx_pool: list[_SpanContext] = []
 
     def __bool__(self) -> bool:
         return self.enabled
@@ -143,9 +160,20 @@ class Tracer:
 
         When the tracer is disabled this returns :data:`NULL_SPAN` (which
         yields ``None``), so even unguarded call sites stay correct.
+
+        Enabled-path contexts come from a per-tracer freelist: a context
+        is returned to the pool when its ``with`` block exits, so steady-
+        state tracing allocates one :class:`Span` per operation and no
+        plumbing objects.
         """
         if not self.enabled:
             return NULL_SPAN
+        pool = self._ctx_pool
+        if pool:
+            ctx = pool.pop()
+            ctx._name = name
+            ctx._attrs = attrs
+            return ctx
         return _SpanContext(self, name, attrs)
 
     def instant(self, name: str, **attrs) -> Span | None:

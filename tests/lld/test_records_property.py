@@ -9,6 +9,12 @@ Two contracts, checked with seeded (derandomized) hypothesis runs:
   raises out of ``parse_summary``; it degrades to ``None`` (skip the
   segment), which is what one-sweep recovery relies on after a torn or
   interrupted summary write.
+* the two codec generations are equivalent: the batch ``pack_into``
+  encoders produce byte-identical output to the per-entry reference
+  ``pack``, and the batch and legacy summary parsers agree on every
+  input — valid, truncated, torn (spliced across two summaries), bit-
+  flipped, or garbage. The legacy implementations are the oracle that
+  pins the on-disk format across the CPU optimization pass.
 """
 
 import struct
@@ -27,7 +33,13 @@ from repro.lld.records import (
     ListMetaRecord,
     unpack_record,
 )
-from repro.lld.segment import SUMMARY_MAGIC, parse_summary, serialize_summary
+from repro.lld.segment import (
+    SUMMARY_MAGIC,
+    parse_summary,
+    parse_summary_legacy,
+    serialize_summary,
+    serialize_summary_legacy,
+)
 
 U8 = st.integers(min_value=0, max_value=0xFF)
 U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
@@ -127,3 +139,94 @@ def test_crc_valid_body_with_unknown_type_degrades_to_skip(records, rtype):
     )
     image = (header + body).ljust(CAPACITY, b"\x00")
     assert parse_summary(image) is None
+
+
+# ----------------------------------------------------------------------
+# Old-vs-new codec equivalence (the batch pack_into generation must be
+# byte-identical to the per-entry reference it replaced)
+# ----------------------------------------------------------------------
+
+
+@settings(derandomize=True, max_examples=200)
+@given(record=RECORDS)
+def test_pack_into_byte_identical_to_pack(record):
+    buf = bytearray(record.SIZE)
+    end = record.pack_into(buf, 0)
+    assert end == record.SIZE == record.packed_size
+    assert bytes(buf) == record.pack()
+
+
+@settings(derandomize=True, max_examples=100)
+@given(records=st.lists(RECORDS, max_size=40))
+def test_batch_summary_byte_identical_to_legacy(records):
+    assert serialize_summary(records, CAPACITY) == serialize_summary_legacy(
+        records, CAPACITY
+    )
+
+
+def test_summary_overflow_identical_to_legacy():
+    from repro.lld.records import BlockRecord as BR
+    import pytest
+
+    records = [BR(bid=i) for i in range(1000)]
+    with pytest.raises(ValueError) as batch_err:
+        serialize_summary(records, CAPACITY)
+    with pytest.raises(ValueError) as legacy_err:
+        serialize_summary_legacy(records, CAPACITY)
+    assert str(batch_err.value) == str(legacy_err.value)
+
+
+@settings(derandomize=True, max_examples=100)
+@given(records=st.lists(RECORDS, max_size=40))
+def test_parsers_agree_on_valid_summaries(records):
+    image = serialize_summary(records, CAPACITY)
+    assert parse_summary(image) == parse_summary_legacy(image) == records
+    # A memoryview (recovery's zero-copy sweep input) decodes identically.
+    assert parse_summary(memoryview(image)) == records
+
+
+@settings(derandomize=True, max_examples=100)
+@given(records=st.lists(RECORDS, max_size=40), cut=st.integers(min_value=0))
+def test_parsers_agree_on_truncated_summaries(records, cut):
+    image = serialize_summary(records, CAPACITY)
+    truncated = image[: cut % len(image)]
+    assert parse_summary(truncated) == parse_summary_legacy(truncated)
+
+
+@settings(derandomize=True, max_examples=100)
+@given(
+    old=st.lists(RECORDS, min_size=1, max_size=40),
+    new=st.lists(RECORDS, min_size=1, max_size=40),
+    tear=st.integers(min_value=1),
+)
+def test_parsers_agree_on_torn_summaries(old, new, tear):
+    """A torn write — new summary's prefix over the old one's suffix.
+
+    This is the crash shape torn_write_protection exists for; whatever
+    verdict the parser reaches (usually reject, occasionally a consistent
+    read of one generation), both generations must reach the same one and
+    neither may raise.
+    """
+    old_image = serialize_summary(old, CAPACITY)
+    new_image = serialize_summary(new, CAPACITY)
+    torn = new_image[: tear % CAPACITY] + old_image[tear % CAPACITY :]
+    assert parse_summary(torn) == parse_summary_legacy(torn)
+
+
+@settings(derandomize=True, max_examples=150)
+@given(
+    records=st.lists(RECORDS, min_size=1, max_size=40),
+    position=st.integers(min_value=0),
+    bit=st.integers(min_value=0, max_value=7),
+)
+def test_parsers_agree_on_bit_flips(records, position, bit):
+    image = bytearray(serialize_summary(records, CAPACITY))
+    image[position % len(image)] ^= 1 << bit
+    flipped = bytes(image)
+    assert parse_summary(flipped) == parse_summary_legacy(flipped)
+
+
+@settings(derandomize=True, max_examples=100)
+@given(garbage=st.binary(max_size=2 * CAPACITY))
+def test_parsers_agree_on_garbage(garbage):
+    assert parse_summary(garbage) == parse_summary_legacy(garbage)

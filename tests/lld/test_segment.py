@@ -7,7 +7,9 @@ from repro.lld.config import LLDConfig
 from repro.lld.records import BlockRecord, LinkRecord
 from repro.lld.segment import (
     DiskLayout,
+    LegacyOpenSegment,
     OpenSegment,
+    empty_summary,
     parse_summary,
     serialize_summary,
 )
@@ -152,3 +154,106 @@ def test_min_timestamp():
         rec.timestamp = ts
         seg.append_record(rec)
     assert seg.min_timestamp() == 3
+
+
+def test_empty_summary_cached_and_identical():
+    image = empty_summary(4096)
+    assert image is empty_summary(4096)  # cached template
+    assert image == serialize_summary([], 4096)
+    assert parse_summary(image) == []
+
+
+def _fill(seg, with_second_round: bool = True):
+    """Identical append sequence for cross-implementation comparisons."""
+    for i, ts in enumerate((5, 2, 8)):
+        rec = LinkRecord(bid=i, successor=i + 1)
+        rec.timestamp = ts
+        seg.append_record(rec)
+    seg.append_data(b"abcdefgh" * 100)
+    seg.mark_durable()
+    if with_second_round:
+        rec = BlockRecord(bid=9, segment=seg.index, offset=800, stored_length=64)
+        rec.timestamp = 11
+        seg.append_record(rec)
+        seg.append_data(b"Z" * 64)
+
+
+def test_open_segment_matches_legacy_byte_for_byte():
+    cfg = config()
+    seg, leg = OpenSegment(3, cfg), LegacyOpenSegment(3, cfg)
+    _fill(seg)
+    _fill(leg)
+    assert bytes(seg.image()) == bytes(leg.image())
+    assert bytes(seg.summary_delta_image()) == bytes(leg.summary_delta_image())
+    sector, tail = seg.data_tail()
+    legacy_sector, legacy_tail = leg.data_tail()
+    assert sector == legacy_sector
+    assert bytes(tail) == bytes(legacy_tail)
+    assert seg.min_timestamp() == leg.min_timestamp() == 2
+
+
+def test_open_segment_zero_copy_counter():
+    """The optimized flush images are views: zero intermediate copies."""
+    cfg = config()
+    seg, leg = OpenSegment(0, cfg), LegacyOpenSegment(0, cfg)
+    for s in (seg, leg):
+        _fill(s)
+        s.image()
+        s.summary_delta_image()
+        s.data_tail()
+    assert seg.bytes_copied == 0
+    assert leg.bytes_copied > 0
+
+
+def test_lld_partial_flush_is_zero_copy():
+    """End to end: delta partial flushes copy no intermediate bytes."""
+    from repro.lld.lld import LLD
+
+    def run(legacy: bool):
+        disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+        lld = LLD(disk, LLDConfig(segment_size=64 * 1024,
+                                  checkpoint_slots=1,
+                                  legacy_codecs=legacy))
+        lld.initialize()
+        from repro.ld.hints import LIST_HEAD
+
+        lid = lld.new_list()
+        prev = LIST_HEAD
+        for i in range(8):
+            bid = lld.new_block(lid, prev)
+            prev = bid
+            lld.write(bid, bytes([i + 1]) * 1024)
+            lld.flush()
+        return lld
+
+    assert run(legacy=False).stats.segment_bytes_copied == 0
+    assert run(legacy=True).stats.segment_bytes_copied > 0
+
+
+def test_legacy_and_optimized_disks_byte_identical():
+    """Same workload, both codec generations: identical on-disk bytes."""
+    from repro.ld.hints import LIST_HEAD
+    from repro.lld.lld import LLD
+
+    def run(legacy: bool):
+        disk = SimulatedDisk(fast_test_disk(capacity_mb=4), VirtualClock())
+        lld = LLD(disk, LLDConfig(segment_size=64 * 1024,
+                                  checkpoint_slots=1,
+                                  legacy_codecs=legacy))
+        lld.initialize()
+        lid = lld.new_list()
+        prev = LIST_HEAD
+        for i in range(24):
+            bid = lld.new_block(lid, prev)
+            prev = bid
+            lld.write(bid, bytes([i + 1]) * 2048)
+            if i % 3 == 2:
+                lld.flush()
+        lld.delete_block(prev, lid)
+        lld.flush()
+        return disk
+
+    a, b = run(legacy=False), run(legacy=True)
+    assert a.clock.now == b.clock.now
+    assert a.sectors_populated == b.sectors_populated
+    assert a.peek(0, a.geometry.total_sectors) == b.peek(0, b.geometry.total_sectors)
