@@ -16,6 +16,12 @@ pinned reference implementation, on whatever hardware both arms just ran.
 The absolute ≥2x floor is asserted by ``test_cpu_profile.py`` itself;
 this script re-checks it from the fresh report as a belt-and-braces CI
 failure with a readable message.
+
+A missing or unreadable *committed* baseline (first run on a branch that
+never committed one, or a report from an older schema) is not a
+regression: the threshold comparison is skipped with a clear message and
+exit 0, and only the fresh report's own speedup floor is enforced. A bad
+*fresh* report still fails — it was produced by this very CI run.
 """
 
 from __future__ import annotations
@@ -24,6 +30,15 @@ import json
 import sys
 
 SLACK = 1.25
+
+#: Report schema this checker understands; reports carrying a different
+#: ``schema_version`` cannot be compared. Reports without the key predate
+#: versioning and use the version-1 shape.
+SCHEMA_VERSION = 1
+
+
+class BaselineUnusable(Exception):
+    """The committed baseline cannot participate in the comparison."""
 
 
 def normalized_write_cost(report: dict) -> float:
@@ -34,12 +49,44 @@ def normalized_write_cost(report: dict) -> float:
     return 1.0 / speedup
 
 
+def load_committed_baseline(path: str) -> dict:
+    """The committed report, or :class:`BaselineUnusable` explaining why."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        raise BaselineUnusable(f"committed baseline {path!r} does not exist")
+    except (OSError, ValueError) as exc:
+        raise BaselineUnusable(f"committed baseline {path!r} is unreadable: {exc}")
+    if not isinstance(report, dict):
+        raise BaselineUnusable(
+            f"committed baseline {path!r} is not a report object "
+            f"(got {type(report).__name__})"
+        )
+    version = report.get("schema_version", 1)
+    if version != SCHEMA_VERSION:
+        raise BaselineUnusable(
+            f"committed baseline {path!r} has schema_version {version!r}, "
+            f"this checker understands {SCHEMA_VERSION}"
+        )
+    speedup = report.get("speedup")
+    if not isinstance(speedup, dict) or not speedup.get("write"):
+        raise BaselineUnusable(
+            f"committed baseline {path!r} carries no write speedup figure"
+        )
+    return report
+
+
 def main(argv: list[str]) -> int:
     if len(argv) != 3:
         print(__doc__)
         return 2
-    with open(argv[1], encoding="utf-8") as handle:
-        committed = json.load(handle)
+    try:
+        committed = load_committed_baseline(argv[1])
+    except BaselineUnusable as exc:
+        print(f"SKIP: {exc}")
+        print("SKIP: no comparable committed baseline; regression gate not run")
+        return 0
     with open(argv[2], encoding="utf-8") as handle:
         fresh = json.load(handle)
 

@@ -16,19 +16,23 @@ Bounded to run as a CI smoke job (well under two minutes); emits
 ``BENCH_crash_matrix.json`` for CI to diff.
 """
 
+import json
 from pathlib import Path
 
 from repro.bench import crash_matrix_summary, render_table, write_json_report
 from repro.crashsim import (
     CrashStateEnumerator,
     LLDCrashChecker,
+    MirrorRecording,
     OracleDriver,
     RecordingDisk,
+    explore_degraded_mirror,
     run_matrix_workload,
 )
 from repro.disk import SimulatedDisk, fast_test_disk
 from repro.lld import LLD, LLDConfig
 from repro.sim import VirtualClock
+from repro.volume import Volume
 from benchmarks.conftest import emit
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_crash_matrix.json"
@@ -102,3 +106,92 @@ def test_crash_matrix(benchmark):
     assert report.states_by_kind.get("reorder", 0) > 0
     assert report.violations == []
     assert len(report.recovery_seconds) == report.states_total
+
+
+# ----------------------------------------------------------------------
+# Degraded mirror: per-disk crash states, one member dropped
+# ----------------------------------------------------------------------
+
+MIRROR_WORKLOAD = dict(n_small=12, n_overwrites=4, generations=3, n_fill=12)
+
+MIN_MIRROR_STATES = 200
+
+
+def run_mirror():
+    members = [
+        SimulatedDisk(fast_test_disk(capacity_mb=8), VirtualClock()) for _ in range(2)
+    ]
+    volume = Volume(members, VirtualClock(), layout="mirror")
+    recording = MirrorRecording(volume)
+    lld = LLD(volume, LLDConfig(**CONFIG))
+    lld.initialize()
+    driver = OracleDriver(lld, recording)
+    run_matrix_workload(driver, **MIRROR_WORKLOAD)
+    recording.assert_isomorphic()
+    reports = {
+        survivor: explore_degraded_mirror(
+            recording,
+            lld.config,
+            driver.oracle,
+            survivor=survivor,
+            reorder_samples_per_epoch=12,
+        )
+        for survivor in range(len(recording.members))
+    }
+    return recording, driver, reports
+
+
+def test_degraded_mirror_matrix(benchmark):
+    """Every crash state of either member, recovered with the other dropped.
+
+    The mirrored volume fans acknowledged writes to both members, so any
+    single survivor — caught at any crash point its journal admits —
+    must satisfy all four durability invariants through a degraded mount.
+    """
+    recording, driver, reports = benchmark.pedantic(run_mirror, rounds=1, iterations=1)
+
+    rows = {
+        "journal writes (per member)": {"value": float(recording.position)},
+        "ack points": {"value": float(len(driver.oracle.points))},
+    }
+    for survivor, report in sorted(reports.items()):
+        rows[f"survivor {survivor}: crash states"] = {
+            "value": float(report.states_total)
+        }
+        rows[f"survivor {survivor}: violations"] = {
+            "value": float(len(report.violations))
+        }
+    emit(
+        render_table(
+            "Degraded mirror matrix (2-way, one member dropped)",
+            ["value"],
+            rows,
+            note="per-member journals are isomorphic; either survivor must recover",
+        )
+    )
+
+    # Merge into the crash-matrix report (test_crash_matrix writes first
+    # in file order; stay robust if it did not run this session).
+    try:
+        payload = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = {"benchmark": "crash_matrix"}
+    payload["degraded_mirror"] = {
+        "config": CONFIG,
+        "workload": MIRROR_WORKLOAD,
+        "members": len(recording.members),
+        "journal_writes_per_member": recording.position,
+        "ack_points": len(driver.oracle.points),
+        "survivors": {
+            str(survivor): crash_matrix_summary(report)
+            for survivor, report in sorted(reports.items())
+        },
+    }
+    emit(f"wrote {write_json_report(REPORT_PATH, payload)}")
+
+    for survivor, report in reports.items():
+        assert report.states_total >= MIN_MIRROR_STATES, (survivor, report.states_total)
+        assert report.states_by_kind.get("prefix", 0) > 0
+        assert report.states_by_kind.get("torn", 0) > 0
+        assert report.states_by_kind.get("reorder", 0) > 0
+        assert report.violations == [], (survivor, report.violations[:3])

@@ -1,0 +1,242 @@
+"""Volume scaling: throughput and latency vs spindle count.
+
+The tentpole claim of the multi-disk volume layer: requests dispatched to
+different spindles in one batch overlap in simulated time, so a striped
+volume's sequential bandwidth scales near-linearly with member count
+(Dagenais' RAID-performance measurements, PAPERS.md) while a 1-member
+volume is *figure-identical* to the bare disk it wraps.
+
+Three arms, all recorded in ``BENCH_volume_scaling.json``:
+
+* **raw scaling** — sequential 1 MB reads and writes through bare striped
+  volumes at N ∈ {1, 2, 4, 8}: simulated MB/s, p50/p99 request latency,
+  per-spindle request/busy balance.
+* **identity** — the same operation sequence against a bare
+  ``SimulatedDisk`` and a 1-member volume must land both clocks and the
+  member's ``DiskStats`` on identical figures (the no-regression gate for
+  interposing the layer).
+* **LLD end-to-end** — the paper stack (MINIX over LLD) on 1 vs 4
+  spindles with segment-granular striping: file-write throughput plus the
+  recovery sweep's simulated time. The fsync-heavy write path is
+  barrier-serialized by design (each durability point drains every
+  spindle), so its figure is a parity check; the parallel win the LLD
+  stack banks is the recovery sweep, whose batched summary reads overlap
+  across all members.
+
+Acceptance (CI-gated): ≥3x simulated sequential read AND write throughput
+at N=4 vs N=1, exact N=1 figure identity, and ≥2x faster recovery sweep
+at N=4.
+"""
+
+import os
+from pathlib import Path
+
+from repro.bench import render_table, write_json_report
+from repro.bench.builders import BuildSpec, build_minix_lld
+from repro.disk import SimulatedDisk, hp_c3010
+from repro.lld import LLD
+from repro.sim import VirtualClock
+from repro.volume import Volume
+from benchmarks.conftest import emit
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_volume_scaling.json"
+
+SPINDLE_COUNTS = (1, 2, 4, 8)
+MEMBER_MB = 64
+CHUNK_SECTORS = 256  # 128 KB stripe chunk
+REQUEST_SECTORS = 2048  # 1 MB sequential requests
+N_REQUESTS = 24
+
+SPEEDUP_FLOOR_AT_4 = 3.0
+
+
+def make_volume(n: int) -> Volume:
+    members = [
+        SimulatedDisk(hp_c3010(capacity_mb=MEMBER_MB), VirtualClock())
+        for _ in range(n)
+    ]
+    return Volume(members, VirtualClock(), chunk_sectors=CHUNK_SECTORS)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ranked = sorted(values)
+    if not ranked:
+        return 0.0
+    return ranked[max(0, min(len(ranked) - 1, round(q * (len(ranked) - 1))))]
+
+
+def run_raw_arm(n: int) -> dict:
+    """Sequential 1 MB writes then reads through an N-spindle stripe."""
+    payload = os.urandom(REQUEST_SECTORS * 512)
+    total_mb = N_REQUESTS * REQUEST_SECTORS * 512 / (1024 * 1024)
+
+    volume = make_volume(n)
+    t0 = volume.clock.now
+    for i in range(N_REQUESTS):
+        volume.write(i * REQUEST_SECTORS, payload)
+    volume.barrier()
+    write_seconds = volume.clock.now - t0
+
+    t0 = volume.clock.now
+    for i in range(N_REQUESTS):
+        volume.read(i * REQUEST_SECTORS, REQUEST_SECTORS)
+    read_seconds = volume.clock.now - t0
+
+    rollup = volume.volume_stats.as_dict()
+    return {
+        "n_disks": n,
+        "write_seconds": write_seconds,
+        "read_seconds": read_seconds,
+        "write_mb_per_s": total_mb / write_seconds,
+        "read_mb_per_s": total_mb / read_seconds,
+        "write_latency_p50_ms": _percentile(volume.volume_stats.write_latencies, 0.50)
+        * 1000,
+        "write_latency_p99_ms": _percentile(volume.volume_stats.write_latencies, 0.99)
+        * 1000,
+        "read_latency_p50_ms": rollup["read_latency_p50"] * 1000,
+        "read_latency_p99_ms": rollup["read_latency_p99"] * 1000,
+        "request_balance": rollup["request_balance"],
+        "busy_balance": rollup["busy_balance"],
+        "max_queue_depth": rollup["max_queue_depth"],
+    }
+
+
+def run_identity_arm() -> dict:
+    """Bare disk vs 1-member volume under one operation sequence."""
+    bare = SimulatedDisk(hp_c3010(capacity_mb=MEMBER_MB), VirtualClock())
+    volume = make_volume(1)
+    payload = os.urandom(REQUEST_SECTORS * 512)
+    for i in range(8):
+        bare.write(i * REQUEST_SECTORS, payload)
+        volume.write(i * REQUEST_SECTORS, payload)
+        if i % 3 == 0:
+            bare.barrier()
+            volume.barrier()
+            assert bare.read(i * REQUEST_SECTORS, REQUEST_SECTORS) == volume.read(
+                i * REQUEST_SECTORS, REQUEST_SECTORS
+            )
+    bare.barrier()
+    volume.barrier()
+    member = volume.disks[0]
+    return {
+        "bare_clock_s": bare.clock.now,
+        "volume_clock_s": volume.clock.now,
+        "clock_identical": bare.clock.now == volume.clock.now,
+        "stats_identical": bare.stats.as_dict() == member.stats.as_dict(),
+    }
+
+
+def run_lld_arm(spec: BuildSpec, n: int) -> dict:
+    """The paper stack over an N-spindle volume: writes + recovery sweep."""
+    fs, lld = build_minix_lld(spec, n_disks=n)
+    count = spec.small_file_count(300)
+    file_bytes = 16 * 1024
+    t0 = lld.disk.clock.now
+    for i in range(count):
+        fd = fs.open(f"/f{i}", create=True)
+        fs.write(fd, os.urandom(file_bytes))
+        fs.close(fd)
+        if i % 8 == 7:
+            fs.sync()
+    fs.sync()
+    write_seconds = lld.disk.clock.now - t0
+    written_mb = count * file_bytes / (1024 * 1024)
+
+    # Crash (no checkpoint): the fresh instance must one-sweep recover.
+    recovered = LLD(lld.disk, lld.config)
+    recovered.initialize()
+    assert recovered.recovery_report is not None
+    return {
+        "n_disks": n,
+        "files": count,
+        "write_seconds": write_seconds,
+        "write_mb_per_s": written_mb / write_seconds,
+        "recovery_seconds": recovered.recovery_report.simulated_seconds,
+        "recovery_read_requests": recovered.recovery_report.summary_read_requests,
+    }
+
+
+def run():
+    spec = BuildSpec.from_scale(0.1)
+    raw = {n: run_raw_arm(n) for n in SPINDLE_COUNTS}
+    identity = run_identity_arm()
+    lld = {n: run_lld_arm(spec, n) for n in (1, 4)}
+    return raw, identity, lld
+
+
+def test_volume_scaling(benchmark):
+    raw, identity, lld = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = {}
+    for n, arm in raw.items():
+        rows[f"stripe N={n}"] = {
+            "Write MB/s": arm["write_mb_per_s"],
+            "Read MB/s": arm["read_mb_per_s"],
+            "p99 read (ms)": arm["read_latency_p99_ms"],
+            "Req balance": arm["request_balance"],
+        }
+    emit(
+        render_table(
+            "Volume scaling (sequential 1 MB requests, 128 KB chunks)",
+            ["Write MB/s", "Read MB/s", "p99 read (ms)", "Req balance"],
+            rows,
+            note="simulated throughput; per-spindle overlap model",
+        )
+    )
+    emit(
+        render_table(
+            "LLD on striped volume (segment-granular placement)",
+            ["Write MB/s", "Recovery (ms)", "Sweep reqs"],
+            {
+                f"LLD N={n}": {
+                    "Write MB/s": arm["write_mb_per_s"],
+                    "Recovery (ms)": arm["recovery_seconds"] * 1000,
+                    "Sweep reqs": float(arm["recovery_read_requests"]),
+                }
+                for n, arm in lld.items()
+            },
+            note="same data, spindles split both the flush and the sweep",
+        )
+    )
+
+    write_speedup_4 = raw[4]["write_mb_per_s"] / raw[1]["write_mb_per_s"]
+    read_speedup_4 = raw[4]["read_mb_per_s"] / raw[1]["read_mb_per_s"]
+    payload = {
+        "benchmark": "volume_scaling",
+        "chunk_sectors": CHUNK_SECTORS,
+        "request_sectors": REQUEST_SECTORS,
+        "n_requests": N_REQUESTS,
+        "member_mb": MEMBER_MB,
+        "raw": {str(n): arm for n, arm in raw.items()},
+        "identity": identity,
+        "lld": {str(n): arm for n, arm in lld.items()},
+        "write_speedup_at_4": write_speedup_4,
+        "read_speedup_at_4": read_speedup_4,
+        "speedup_floor": SPEEDUP_FLOOR_AT_4,
+    }
+    emit(f"wrote {write_json_report(REPORT_PATH, payload)}")
+    emit(
+        f"N=4 speedup: write {write_speedup_4:.2f}x, read {read_speedup_4:.2f}x "
+        f"(floor {SPEEDUP_FLOOR_AT_4}x)"
+    )
+
+    # Acceptance: ≥3x sequential throughput at 4 spindles, both directions.
+    assert write_speedup_4 >= SPEEDUP_FLOOR_AT_4
+    assert read_speedup_4 >= SPEEDUP_FLOOR_AT_4
+    # Monotone scaling across the swept spindle counts.
+    for lo, hi in zip(SPINDLE_COUNTS, SPINDLE_COUNTS[1:]):
+        assert raw[hi]["write_mb_per_s"] > raw[lo]["write_mb_per_s"]
+        assert raw[hi]["read_mb_per_s"] > raw[lo]["read_mb_per_s"]
+    # Spindle utilization stays balanced under the striped workload.
+    for arm in raw.values():
+        assert arm["request_balance"] >= 0.9
+    # N=1 volume is figure-identical to the bare disk.
+    assert identity["clock_identical"]
+    assert identity["stats_identical"]
+    # The LLD stack benefits end to end: the parallel recovery sweep.
+    # (The fsync-heavy write path drains every spindle at each durability
+    # point, so its figure is a parity check, not a speedup gate.)
+    recovery_speedup = lld[1]["recovery_seconds"] / lld[4]["recovery_seconds"]
+    emit(f"LLD recovery speedup at N=4: {recovery_speedup:.2f}x (floor 2.0x)")
+    assert recovery_speedup >= 2.0
+    assert lld[4]["write_seconds"] <= lld[1]["write_seconds"] * 1.10

@@ -18,6 +18,7 @@ from repro.fs.ffs import make_ffs
 from repro.fs.minix import make_minix, make_minix_lld
 from repro.lld import LLD, LLDConfig
 from repro.sim import VirtualClock
+from repro.volume import Volume
 
 KB = 1024
 MB = 1024 * KB
@@ -63,6 +64,34 @@ def fresh_disk(spec: BuildSpec) -> SimulatedDisk:
     return SimulatedDisk(hp_c3010(capacity_mb=spec.partition_mb), VirtualClock())
 
 
+def fresh_volume(
+    spec: BuildSpec,
+    n_disks: int,
+    *,
+    layout: str = "stripe",
+    chunk_sectors: int | None = None,
+    segment_size: int | None = None,
+) -> Volume:
+    """A new N-spindle volume of HP C3010 members.
+
+    Striped volumes default to segment-granular chunks (one stripe chunk
+    == one LLD segment slot), so every slot maps wholly to one spindle and
+    round-robin slot placement turns into round-robin spindle placement.
+    Members are sized so total capacity matches the single-disk testbed:
+    the N=1 arm is the same partition as :func:`fresh_disk`.
+    """
+    if chunk_sectors is None:
+        chunk_sectors = (segment_size or spec.segment_size) // 512
+    member_mb = max(8, spec.partition_mb // (n_disks if layout == "stripe" else 1))
+    members = [
+        SimulatedDisk(hp_c3010(capacity_mb=member_mb), VirtualClock())
+        for _ in range(n_disks)
+    ]
+    return Volume(
+        members, VirtualClock(), layout=layout, chunk_sectors=chunk_sectors
+    )
+
+
 def build_minix(spec: BuildSpec, readahead: bool = True):
     """Plain MINIX (4 KB blocks, bitmaps, read-ahead on)."""
     fs = make_minix(
@@ -86,6 +115,8 @@ def build_minix_lld(
     delta_partial_flush: bool = True,
     flush_batch: int = 1,
     legacy_codecs: bool = False,
+    n_disks: int | None = None,
+    volume_layout: str = "stripe",
 ):
     """MINIX LLD (0.5 MB segments, 4 KB blocks, read-ahead off).
 
@@ -95,6 +126,11 @@ def build_minix_lld(
     the read-path benchmark turns them on explicitly. The write-path
     benchmark uses ``delta_partial_flush=False`` for the paper's
     full-image flush baseline and ``flush_batch`` for group commit.
+
+    With ``n_disks`` set, LLD runs over a multi-spindle
+    :class:`~repro.volume.Volume` (segment-granular striping by default)
+    instead of a bare disk; ``None`` keeps the single-disk testbed
+    byte- and figure-identical to previous revisions.
     """
     config = LLDConfig(
         segment_size=segment_size or spec.segment_size,
@@ -105,7 +141,13 @@ def build_minix_lld(
         delta_partial_flush=delta_partial_flush,
         legacy_codecs=legacy_codecs,
     )
-    lld = LLD(fresh_disk(spec), config)
+    if n_disks is None:
+        backing = fresh_disk(spec)
+    else:
+        backing = fresh_volume(
+            spec, n_disks, layout=volume_layout, segment_size=config.segment_size
+        )
+    lld = LLD(backing, config)
     lld.initialize()
     fs = make_minix_lld(
         lld,

@@ -25,6 +25,12 @@ def stack_registry(fs=None, lld=None, recovery=None) -> MetricsRegistry:
     if lld is not None:
         registry.register("lld", lld.stats)
         registry.register("disk", lld.disk.stats)
+        # A multi-spindle volume carries its own rollup (per-disk request
+        # balance, latency percentiles, queue depth) beside the
+        # volume-level request counters registered as "disk" above.
+        volume_stats = getattr(lld.disk, "volume_stats", None)
+        if volume_stats is not None:
+            registry.register("volume", volume_stats)
         if lld.nvram is not None:
             registry.register("nvram", lld.nvram)
         if recovery is None:

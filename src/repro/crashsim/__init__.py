@@ -23,6 +23,11 @@ from repro.crashsim.oracle import (
     run_matrix_workload,
 )
 from repro.crashsim.recording import BarrierEvent, RecordingDisk, WriteEvent
+from repro.crashsim.volume import (
+    MirrorRecording,
+    degraded_mirror_volume,
+    explore_degraded_mirror,
+)
 
 __all__ = [
     "BarrierEvent",
@@ -31,11 +36,14 @@ __all__ = [
     "DurabilityOracle",
     "ExplorationReport",
     "LLDCrashChecker",
+    "MirrorRecording",
     "OracleDriver",
     "OraclePoint",
     "RecordingDisk",
     "Violation",
     "WriteEvent",
     "client_view",
+    "degraded_mirror_volume",
+    "explore_degraded_mirror",
     "run_matrix_workload",
 ]

@@ -165,6 +165,17 @@ class SimulatedDisk:
             self.stats.record_request(nsectors, write=False)
         return self._gather(lba, nsectors)
 
+    def read_batch(self, requests: list[tuple[int, int]]) -> list[bytes]:
+        """Read several ``(lba, nsectors)`` extents as one submission.
+
+        A single spindle has no parallelism to exploit, so this is
+        timing-identical to issuing the reads back-to-back; the method
+        exists so callers can hand a whole batch to whatever disk they
+        hold and let a multi-spindle :class:`repro.volume.Volume` overlap
+        the sub-requests in simulated time.
+        """
+        return [self.read(lba, nsectors) for lba, nsectors in requests]
+
     def write(self, lba: int, data: bytes) -> None:
         """Write ``data`` (a whole number of sectors) starting at ``lba``."""
         size = self.geometry.sector_size

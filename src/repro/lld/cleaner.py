@@ -57,6 +57,22 @@ class Cleaner:
         lld = self.lld
         usage = lld.state.usage
         if lld.config.clean_policy == "greedy":
+            spindles = lld.layout.slot_spindles
+            if spindles is not None:
+                # Multi-spindle tie-break: among equally-dead victims,
+                # prefer one off the open segment's spindle so the
+                # cleaner's long victim read overlaps the evacuation
+                # writes landing in the open slot.
+                open_index = lld.open_segment_index
+                open_spindle = spindles[open_index] if open_index is not None else -1
+                return min(
+                    candidates,
+                    key=lambda slot: (
+                        usage.get(slot, 0),
+                        spindles[slot] == open_spindle,
+                        slot,
+                    ),
+                )
             return min(candidates, key=lambda slot: (usage.get(slot, 0), slot))
         # cost_benefit
         capacity = lld.config.data_capacity

@@ -315,6 +315,7 @@ class LLD(LogicalDisk):
                     results[i] = cached
                     continue
             pending.setdefault(entry.segment, []).append((i, bid, entry))
+        run_specs: list[tuple[int, list[tuple[int, int, object]]]] = []
         for segment in sorted(pending):
             items = sorted(pending[segment], key=lambda item: item[2].offset)
             start = 0
@@ -328,14 +329,40 @@ class LLD(LogicalDisk):
                         run_end, items[end][2].offset + items[end][2].stored_length
                     )
                     end += 1
-                run = [(bid, entry) for _i, bid, entry in items[start:end]]
-                raws = self._read_run(segment, run)
-                for (index, bid, entry), raw in zip(items[start:end], raws):
+                run_specs.append((segment, items[start:end]))
+                start = end
+        # Dispatch every coalesced run as one submission: on a bare disk
+        # this is timing-identical to back-to-back reads; on a striped
+        # volume runs living on different spindles overlap in simulated
+        # time. Stripe-boundary splitting happens inside the volume, which
+        # sees the full batch at one dispatch instant.
+        read_batch = getattr(self.disk, "read_batch", None)
+        if read_batch is not None and len(run_specs) > 1:
+            extents = [
+                self._run_extent(segment, [(bid, e) for _i, bid, e in items])
+                for segment, items in run_specs
+            ]
+            bufs = read_batch([(lba, nsectors) for lba, nsectors, _skew in extents])
+            for (segment, items), (lba, nsectors, skew), buf in zip(
+                run_specs, extents, bufs
+            ):
+                run = [(bid, entry) for _i, bid, entry in items]
+                raws = self._slice_run(buf, skew, run)
+                self._note_coalesced_run(len(run))
+                for (index, bid, entry), raw in zip(items, raws):
                     data = self._decode(entry, raw)
                     results[index] = data
                     if cache is not None:
                         cache.put(bid, data)
-                start = end
+        else:
+            for segment, items in run_specs:
+                run = [(bid, entry) for _i, bid, entry in items]
+                raws = self._read_run(segment, run)
+                for (index, bid, entry), raw in zip(items, raws):
+                    data = self._decode(entry, raw)
+                    results[index] = data
+                    if cache is not None:
+                        cache.put(bid, data)
         return results  # type: ignore[return-value]
 
     def read_list(self, lid: int) -> list[bytes]:
@@ -369,6 +396,29 @@ class LLD(LogicalDisk):
             bid = nxt.successor
         return run
 
+    def _run_extent(
+        self, segment: int, run: list[tuple[int, object]]
+    ) -> tuple[int, int, int]:
+        """The ``(lba, nsectors, skew)`` disk extent covering a run."""
+        first = run[0][1]
+        last = run[-1][1]
+        total = last.offset + last.stored_length - first.offset
+        return self.layout.block_extent(segment, first.offset, total)
+
+    @staticmethod
+    def _slice_run(buf: bytes, skew: int, run: list[tuple[int, object]]) -> list[bytes]:
+        """Carve each block's stored bytes out of a run's read buffer."""
+        first = run[0][1]
+        out: list[bytes] = []
+        for _bid, entry in run:
+            start = skew + (entry.offset - first.offset)
+            out.append(buf[start : start + entry.stored_length])
+        return out
+
+    def _note_coalesced_run(self, length: int) -> None:
+        runs = self.stats.coalesced_runs
+        runs[length] = runs.get(length, 0) + 1
+
     def _read_run(self, segment: int, run: list[tuple[int, object]]) -> list[bytes]:
         """One multi-sector disk request covering a contiguous run.
 
@@ -376,18 +426,10 @@ class LLD(LogicalDisk):
         ``run`` order. A single-block run degenerates to exactly the
         request the scalar read path always issued.
         """
-        first = run[0][1]
-        last = run[-1][1]
-        total = last.offset + last.stored_length - first.offset
-        lba, nsectors, skew = self.layout.block_extent(segment, first.offset, total)
+        lba, nsectors, skew = self._run_extent(segment, run)
         buf = self.disk.read(lba, nsectors)
-        runs = self.stats.coalesced_runs
-        runs[len(run)] = runs.get(len(run), 0) + 1
-        out: list[bytes] = []
-        for _bid, entry in run:
-            start = skew + (entry.offset - first.offset)
-            out.append(buf[start : start + entry.stored_length])
-        return out
+        self._note_coalesced_run(len(run))
+        return self._slice_run(buf, skew, run)
 
     def write(self, bid: int, data: bytes) -> None:
         self._require_init()
@@ -1159,6 +1201,23 @@ class LLD(LogicalDisk):
             raise OutOfSpaceError("no free segments left")
         best_rank = min(ranks.values())
         candidates = sorted(slot for slot, r in ranks.items() if r == best_rank)
+        spindles = self.layout.slot_spindles
+        if spindles is not None and current >= 0:
+            # Multi-spindle placement: round-robin whole slots across the
+            # member disks so consecutive sealed segments — and the
+            # cleaner traffic chasing them — land on different spindles
+            # and their writes overlap in simulated time. Among slots on
+            # the preferred spindle, keep the sequential-layout bias.
+            n = self.layout.spindle_count
+            cur_spindle = spindles[current]
+            return min(
+                candidates,
+                key=lambda slot: (
+                    (spindles[slot] - cur_spindle - 1) % n,
+                    slot <= current,
+                    slot,
+                ),
+            )
         # Prefer the next slot after the current one for sequential layout.
         following = [slot for slot in candidates if slot > current]
         return following[0] if following else candidates[0]

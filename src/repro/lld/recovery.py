@@ -105,13 +105,34 @@ def sweep_summaries(lld: "LLD") -> list[tuple[int, list[Record]]]:
     batch = _sweep_batch_size(lld)
     stride = config.sectors_per_segment * SECTOR
     summary_capacity = config.summary_capacity
+
+    # Phase 1: plan the sweep — one (start_slot, count, lba, nsectors)
+    # request per batch of adjacent slots.
+    requests: list[tuple[int, int, int, int]] = []
     for start in range(0, segment_count, batch):
         count = min(batch, segment_count - start)
         if count == 1:
-            images = [lld.disk.read(lld.layout.slot_lba(start), config.summary_sectors)]
+            nsectors = config.summary_sectors
         else:
-            span = (count - 1) * config.sectors_per_segment + config.summary_sectors
-            buf = memoryview(lld.disk.read(lld.layout.slot_lba(start), span))
+            nsectors = (count - 1) * config.sectors_per_segment + config.summary_sectors
+        requests.append((start, count, lld.layout.slot_lba(start), nsectors))
+
+    # Phase 2: dispatch. A multi-spindle volume overlaps the per-disk
+    # sub-sweeps of the whole batch in simulated time — the parallel
+    # summary sweep; a bare disk serves the batch back-to-back,
+    # timing-identical to the sequential loop this replaces.
+    read_batch = getattr(lld.disk, "read_batch", None)
+    if read_batch is not None and len(requests) > 1:
+        bufs = read_batch([(lba, nsectors) for _s, _c, lba, nsectors in requests])
+    else:
+        bufs = [lld.disk.read(lba, nsectors) for _s, _c, lba, nsectors in requests]
+
+    # Phase 3: decode, in slot order.
+    for (start, count, _lba, _nsectors), raw in zip(requests, bufs):
+        if count == 1:
+            images = [raw]
+        else:
+            buf = memoryview(raw)
             images = [
                 buf[i * stride : i * stride + summary_capacity] for i in range(count)
             ]

@@ -178,6 +178,19 @@ class DiskLayout:
                 f"disk too small: only {self.segment_count} segment slots "
                 f"(need at least 4)"
             )
+        # Spindle awareness: a multi-disk volume exposes spindle_of(), a
+        # bare disk does not. slot_spindles maps each slot to the member
+        # holding its first LBA — exact when the stripe chunk equals the
+        # slot size (the volume builders arrange this), a placement hint
+        # otherwise.
+        spindle_of = getattr(disk, "spindle_of", None)
+        self.spindle_count = getattr(disk, "spindle_count", 1)
+        if spindle_of is not None and self.spindle_count > 1:
+            self.slot_spindles: list[int] | None = [
+                spindle_of(self.slot_lba(seg)) for seg in range(self.segment_count)
+            ]
+        else:
+            self.slot_spindles = None
 
     def slot_lba(self, segment: int) -> int:
         """First LBA of segment slot ``segment``."""

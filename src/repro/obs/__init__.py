@@ -84,4 +84,9 @@ def attach_tracer(tracer: Tracer | None, *components) -> Tracer | None:
             child = obj.__dict__.get(attr) if hasattr(obj, "__dict__") else None
             if child is not None:
                 stack.append(child)
+        # A volume fans out to member disks; instrument every spindle so
+        # per-spindle request spans appear under the volume's spans.
+        members = obj.__dict__.get("disks") if hasattr(obj, "__dict__") else None
+        if isinstance(members, (list, tuple)):
+            stack.extend(m for m in members if m is not None)
     return tracer

@@ -1,0 +1,26 @@
+"""Multi-disk volumes behind the single-disk request surface.
+
+See :mod:`repro.volume.volume` for the overlap model and
+:mod:`repro.volume.mapping` for the RAID-0 address math.
+"""
+
+from repro.volume.mapping import StripeMap, SubRequest
+from repro.volume.volume import (
+    DEFAULT_CHUNK_SECTORS,
+    Volume,
+    VolumeDegradedError,
+    VolumeError,
+    VolumeGeometry,
+    VolumeStats,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SECTORS",
+    "StripeMap",
+    "SubRequest",
+    "Volume",
+    "VolumeDegradedError",
+    "VolumeError",
+    "VolumeGeometry",
+    "VolumeStats",
+]

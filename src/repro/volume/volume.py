@@ -1,0 +1,562 @@
+"""A multi-disk volume behind the :class:`SimulatedDisk` request surface.
+
+The paper's thesis is that file management and disk management separate
+cleanly; this module swaps the single-spindle disk manager for an N-spindle
+one without the layers above noticing. A :class:`Volume` duck-types the
+``read`` / ``write`` / ``barrier`` / ``install`` / ``peek`` / ``corrupt``
+surface of :class:`repro.disk.SimulatedDisk` over N backing member disks in
+one of two layouts:
+
+* **stripe** (RAID-0): fixed-size chunks round-robin across members (see
+  :mod:`repro.volume.mapping`); capacity is the sum of the members'.
+* **mirror** (RAID-1): every write fans out to all live members, reads are
+  balanced to the least-busy replica; capacity is one member's. Members
+  may be dropped (:meth:`fail_member`) and the volume keeps serving from
+  the survivors.
+
+**The overlap model.** Each member disk keeps its *own* virtual clock — a
+per-spindle busy-until horizon — while the volume owns the shared clock
+the layers above observe. Dispatching a sub-request first lifts the member
+clock to the shared ``now`` (a no-op when the spindle is still busy: the
+request queues FIFO behind its predecessors), then lets the member charge
+seek/rotation/transfer on its private clock; the sub-request completes at
+the member clock's new value. Reads are blocking: the shared clock jumps
+to the *max* completion over the dispatched sub-requests, so a striped
+read costs ~max over spindles, not the sum. Writes are queued: they
+dispatch without advancing the shared clock at all, and :meth:`barrier`
+drains — lifts the shared clock over every member's horizon — so a
+striped segment write plus its flush barrier also costs ~max over
+spindles. Data lands in the member sector stores at dispatch, so
+read-after-write is always coherent regardless of clock skew.
+
+With one member the model degenerates exactly to the bare disk: dispatch
+``advance_to`` calls are no-ops (the single member's clock never trails
+the shared one), so every request starts at the same instant, sees the
+same rotational position, and charges the same time a bare
+``SimulatedDisk`` on one shared clock would — the figure-identity the
+scaling benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from repro.disk.disk import SimulatedDisk
+from repro.disk.geometry import DiskGeometry
+from repro.disk.stats import DiskStats
+from repro.obs.trace import NULL_SPAN
+from repro.sim.clock import VirtualClock
+from repro.volume.mapping import StripeMap, SubRequest
+
+LAYOUTS = ("stripe", "mirror")
+
+#: Default stripe chunk: 128 sectors (64 KB).
+DEFAULT_CHUNK_SECTORS = 128
+
+
+class VolumeError(Exception):
+    """A volume-level request cannot be served."""
+
+
+class VolumeDegradedError(VolumeError):
+    """The request touches a failed member with no redundant copy."""
+
+
+class VolumeGeometry:
+    """Synthetic geometry of a volume: member timing, composite capacity.
+
+    Sizing attributes (``total_sectors``, ``capacity_bytes``) describe the
+    volume's addressable space; every other attribute (timing constants,
+    track shape) delegates to the member geometry, so consumers that
+    reason about request cost — e.g. the recovery sweep's coalescing
+    heuristic — see the real spindle characteristics.
+    """
+
+    def __init__(self, member: DiskGeometry, total_sectors: int) -> None:
+        self._member = member
+        self.total_sectors = total_sectors
+        self.sector_size = member.sector_size
+        self.capacity_bytes = total_sectors * member.sector_size
+
+    def __getattr__(self, name: str):
+        return getattr(self._member, name)
+
+    def __repr__(self) -> str:
+        return (
+            f"VolumeGeometry({self.capacity_bytes // (1024 * 1024)} MB, "
+            f"member={self._member!r})"
+        )
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class VolumeStats:
+    """Volume-level rollup: request latencies, queue depth, spindle balance.
+
+    Conforms to the :class:`repro.obs.Snapshot` protocol so benchmarks
+    register it in a :class:`~repro.obs.MetricsRegistry` next to the
+    per-layer stats. ``as_dict()`` folds in a live per-spindle view taken
+    from the member disks' own :class:`~repro.disk.DiskStats`.
+    """
+
+    def __init__(self, volume: "Volume") -> None:
+        self._volume = volume
+        self.reads = 0
+        self.writes = 0
+        self.sub_reads = 0
+        self.sub_writes = 0
+        self.barriers = 0
+        self.degraded_reads = 0
+        self.read_latencies: list[float] = []
+        self.write_latencies: list[float] = []
+        #: Writes dispatched since the last drain, total and per member.
+        self.inflight_writes = 0
+        self.max_queue_depth = 0
+
+    def note_write_dispatch(self, subs: int) -> None:
+        self.inflight_writes += subs
+        if self.inflight_writes > self.max_queue_depth:
+            self.max_queue_depth = self.inflight_writes
+
+    def note_drain(self) -> None:
+        self.inflight_writes = 0
+
+    def _per_disk(self) -> list[dict]:
+        out = []
+        for i, disk in enumerate(self._volume.disks):
+            stats: DiskStats = disk.stats
+            out.append(
+                {
+                    "index": i,
+                    "alive": self._volume.alive[i],
+                    "requests": stats.requests,
+                    "reads": stats.reads,
+                    "writes": stats.writes,
+                    "bytes_read": stats.bytes_read,
+                    "bytes_written": stats.bytes_written,
+                    "busy_time": stats.busy_time,
+                    "barriers": stats.barriers,
+                }
+            )
+        return out
+
+    @staticmethod
+    def _balance(values: list[float]) -> float:
+        """min/max across spindles: 1.0 is perfectly even, 0 fully skewed."""
+        top = max(values, default=0.0)
+        if top <= 0:
+            return 1.0
+        return min(values) / top
+
+    def as_dict(self) -> dict:
+        volume = self._volume
+        per_disk = self._per_disk()
+        live = [d for d in per_disk if d["alive"]]
+        read_lat = sorted(self.read_latencies)
+        write_lat = sorted(self.write_latencies)
+        return {
+            "layout": volume.layout,
+            "n_disks": len(volume.disks),
+            "live_disks": sum(volume.alive),
+            "chunk_sectors": volume.chunk_sectors,
+            "reads": self.reads,
+            "writes": self.writes,
+            "sub_reads": self.sub_reads,
+            "sub_writes": self.sub_writes,
+            "barriers": self.barriers,
+            "degraded_reads": self.degraded_reads,
+            "max_queue_depth": self.max_queue_depth,
+            "read_latency_p50": _percentile(read_lat, 0.50),
+            "read_latency_p99": _percentile(read_lat, 0.99),
+            "write_latency_p50": _percentile(write_lat, 0.50),
+            "write_latency_p99": _percentile(write_lat, 0.99),
+            "total_bytes_read": sum(d["bytes_read"] for d in per_disk),
+            "total_bytes_written": sum(d["bytes_written"] for d in per_disk),
+            "request_balance": self._balance([d["requests"] for d in live]),
+            "busy_balance": self._balance([d["busy_time"] for d in live]),
+            "per_disk": per_disk,
+        }
+
+    def snapshot(self) -> "_FrozenVolumeStats":
+        """Independent copy of the current rollup (Snapshot protocol)."""
+        return _FrozenVolumeStats(self.as_dict())
+
+
+class _FrozenVolumeStats:
+    """An immutable ``as_dict`` capture, itself Snapshot-conformant."""
+
+    def __init__(self, payload: dict) -> None:
+        self._payload = payload
+
+    def as_dict(self) -> dict:
+        return dict(self._payload)
+
+    def snapshot(self) -> "_FrozenVolumeStats":
+        return _FrozenVolumeStats(dict(self._payload))
+
+
+class Volume:
+    """N member disks behind the single-disk request surface."""
+
+    def __init__(
+        self,
+        disks: list,
+        clock: VirtualClock | None = None,
+        *,
+        layout: str = "stripe",
+        chunk_sectors: int | None = None,
+        tracer=None,
+    ) -> None:
+        if not disks:
+            raise ValueError("a volume needs at least one member disk")
+        if layout not in LAYOUTS:
+            raise ValueError(f"unknown layout {layout!r} (choose from {LAYOUTS})")
+        member_geo = disks[0].geometry
+        for disk in disks[1:]:
+            if disk.geometry != member_geo:
+                raise ValueError(
+                    "all members must share one geometry: "
+                    f"{disk.geometry!r} != {member_geo!r}"
+                )
+        self.clock = clock if clock is not None else VirtualClock()
+        for i, disk in enumerate(disks):
+            if disk.clock is self.clock:
+                raise ValueError(
+                    f"member {i} shares the volume clock; each member needs "
+                    "a private clock for the per-spindle busy-until model"
+                )
+        self.disks = list(disks)
+        self.alive = [True] * len(disks)
+        self.layout = layout
+        self.tracer = tracer
+        if layout == "stripe":
+            self.chunk_sectors = (
+                chunk_sectors if chunk_sectors is not None else DEFAULT_CHUNK_SECTORS
+            )
+            self.map: StripeMap | None = StripeMap(
+                len(disks), self.chunk_sectors, member_geo.total_sectors
+            )
+            total = self.map.total_sectors
+        else:
+            self.chunk_sectors = 0
+            self.map = None
+            total = member_geo.total_sectors
+        self.geometry = VolumeGeometry(member_geo, total)
+        #: Volume-level request counters under the same type the layers
+        #: above already consume (``lld.disk.stats``); mechanical time is
+        #: charged on the *member* stats, so the time fields here stay 0.
+        self.stats = DiskStats(sector_size=member_geo.sector_size)
+        self.volume_stats = VolumeStats(self)
+
+    # ------------------------------------------------------------------
+    # Membership / degraded modes
+    # ------------------------------------------------------------------
+
+    @property
+    def spindle_count(self) -> int:
+        """Independent placement targets the layers above can exploit.
+
+        A mirror replicates every sector, so placement cannot steer load
+        between its members (read balancing does); only a stripe exposes
+        multiple placement targets.
+        """
+        return len(self.disks) if self.layout == "stripe" else 1
+
+    def spindle_of(self, lba: int) -> int:
+        """Member disk holding ``lba`` (always 0 for mirrors)."""
+        if self.map is None:
+            return 0
+        return self.map.to_physical(lba)[0]
+
+    @property
+    def degraded(self) -> bool:
+        return not all(self.alive)
+
+    def fail_member(self, index: int) -> None:
+        """Drop a member: it receives no further requests.
+
+        A mirrored volume keeps serving from the survivors; a striped
+        volume raises :class:`VolumeDegradedError` on any request that
+        touches the failed member (RAID-0 has no redundancy).
+        """
+        if not 0 <= index < len(self.disks):
+            raise ValueError(f"no member {index}")
+        if self.layout == "mirror" and self.alive[index] and sum(self.alive) == 1:
+            raise VolumeDegradedError("last mirror member dropped")
+        self.alive[index] = False
+        tr = self.tracer
+        if tr:
+            tr.instant("volume.member_failed", member=index)
+
+    def _member(self, index: int):
+        if not self.alive[index]:
+            raise VolumeDegradedError(
+                f"request touches failed member {index} of a {self.layout} volume"
+            )
+        return self.disks[index]
+
+    def _live_members(self) -> list[int]:
+        live = [i for i, ok in enumerate(self.alive) if ok]
+        if not live:
+            raise VolumeDegradedError("no live members")
+        return live
+
+    def _pick_replica(self) -> int:
+        """Mirror read balancing: the least-busy live member wins."""
+        live = self._live_members()
+        return min(live, key=lambda i: (self.disks[i].clock.now, i))
+
+    # ------------------------------------------------------------------
+    # Request surface
+    # ------------------------------------------------------------------
+
+    def _check_range(self, lba: int, nsectors: int) -> None:
+        if nsectors <= 0:
+            raise ValueError(f"sector count must be positive: {nsectors}")
+        if lba < 0 or lba + nsectors > self.geometry.total_sectors:
+            raise ValueError(
+                f"request [{lba}, {lba + nsectors}) outside volume of "
+                f"{self.geometry.total_sectors} sectors"
+            )
+
+    def _split(self, lba: int, nsectors: int) -> list[SubRequest]:
+        if self.map is not None:
+            return self.map.split(lba, nsectors)
+        return [
+            SubRequest(
+                disk=0, plba=lba, nsectors=nsectors, pieces=((0, 0, nsectors),)
+            )
+        ]
+
+    def _dispatch_read(self, member_index: int, plba: int, nsectors: int, now: float):
+        """Issue one member read at time ``now``; returns (bytes, completion)."""
+        disk = self._member(member_index)
+        disk.clock.advance_to(now)
+        data = disk.read(plba, nsectors)
+        self.volume_stats.sub_reads += 1
+        return data, disk.clock.now
+
+    def _read_at(self, lba: int, nsectors: int, now: float) -> tuple[bytes, float]:
+        """Assemble one volume read dispatched at ``now`` (no shared-clock move)."""
+        size = self.geometry.sector_size
+        if self.map is None:
+            replica = self._pick_replica()
+            if self.degraded:
+                self.volume_stats.degraded_reads += 1
+            data, completion = self._dispatch_read(replica, lba, nsectors, now)
+            return data, completion
+        subs = self._split(lba, nsectors)
+        completion = now
+        if len(subs) == 1 and len(subs[0].pieces) == 1:
+            sub = subs[0]
+            data, completion = self._dispatch_read(sub.disk, sub.plba, sub.nsectors, now)
+            return data, completion
+        out = bytearray(nsectors * size)
+        for sub in subs:
+            buf, done = self._dispatch_read(sub.disk, sub.plba, sub.nsectors, now)
+            completion = max(completion, done)
+            for sub_off, logical_off, count in sub.pieces:
+                out[logical_off * size : (logical_off + count) * size] = buf[
+                    sub_off * size : (sub_off + count) * size
+                ]
+        return bytes(out), completion
+
+    def read(self, lba: int, nsectors: int) -> bytes:
+        """Blocking volume read: shared clock advances to the slowest spindle."""
+        self._check_range(lba, nsectors)
+        tr = self.tracer
+        with tr.span("volume.read", lba=lba, sectors=nsectors) if tr else NULL_SPAN:
+            now = self.clock.now
+            data, completion = self._read_at(lba, nsectors, now)
+            self.clock.advance_to(completion)
+            self.stats.record_request(nsectors, write=False)
+            self.volume_stats.reads += 1
+            self.volume_stats.read_latencies.append(completion - now)
+        return data
+
+    def read_batch(self, requests: list[tuple[int, int]]) -> list[bytes]:
+        """Issue several reads as one overlapping batch.
+
+        All requests dispatch at the current shared time; sub-requests to
+        the same member queue FIFO on its private clock while different
+        members proceed in parallel. The shared clock advances once, to
+        the completion of the slowest request, and per-request latencies
+        are recorded individually.
+        """
+        for lba, nsectors in requests:
+            self._check_range(lba, nsectors)
+        tr = self.tracer
+        with tr.span("volume.read_batch", count=len(requests)) if tr else NULL_SPAN:
+            now = self.clock.now
+            vstats = self.volume_stats
+            out: list[bytes] = []
+            batch_completion = now
+            for lba, nsectors in requests:
+                data, completion = self._read_at(lba, nsectors, now)
+                out.append(data)
+                self.stats.record_request(nsectors, write=False)
+                vstats.reads += 1
+                vstats.read_latencies.append(completion - now)
+                batch_completion = max(batch_completion, completion)
+            self.clock.advance_to(batch_completion)
+        return out
+
+    def write(self, lba: int, data: bytes) -> None:
+        """Queued volume write: dispatched now, drained by the next barrier.
+
+        The member sector stores are updated immediately (reads issued
+        after this call return the new bytes) but the shared clock does
+        not move — each member charges the mechanical cost on its private
+        clock, so writes landing on different spindles overlap and
+        :meth:`barrier` pays only the slowest spindle's horizon.
+        """
+        size = self.geometry.sector_size
+        if len(data) % size != 0:
+            raise ValueError(
+                f"write length {len(data)} is not a multiple of sector size {size}"
+            )
+        nsectors = len(data) // size
+        self._check_range(lba, nsectors)
+        tr = self.tracer
+        with tr.span("volume.write", lba=lba, sectors=nsectors) if tr else NULL_SPAN:
+            now = self.clock.now
+            vstats = self.volume_stats
+            completion = now
+            if self.map is None:
+                live = self._live_members()
+                for i in live:
+                    disk = self.disks[i]
+                    disk.clock.advance_to(now)
+                    disk.write(lba, data)
+                    completion = max(completion, disk.clock.now)
+                vstats.sub_writes += len(live)
+                vstats.note_write_dispatch(len(live))
+            else:
+                subs = self._split(lba, nsectors)
+                view = memoryview(data)
+                for sub in subs:
+                    disk = self._member(sub.disk)
+                    disk.clock.advance_to(now)
+                    if len(sub.pieces) == 1:
+                        piece = view[
+                            sub.pieces[0][1] * size : (sub.pieces[0][1] + sub.pieces[0][2]) * size
+                        ]
+                        disk.write(sub.plba, piece)
+                    else:
+                        chunk = bytearray(sub.nsectors * size)
+                        for sub_off, logical_off, count in sub.pieces:
+                            chunk[sub_off * size : (sub_off + count) * size] = view[
+                                logical_off * size : (logical_off + count) * size
+                            ]
+                        disk.write(sub.plba, bytes(chunk))
+                    completion = max(completion, disk.clock.now)
+                vstats.sub_writes += len(subs)
+                vstats.note_write_dispatch(len(subs))
+            self.stats.record_request(nsectors, write=True)
+            vstats.writes += 1
+            vstats.write_latencies.append(completion - now)
+
+    def barrier(self, label: str = "barrier") -> None:
+        """Order writes and drain every spindle's busy-until horizon.
+
+        Forwarded to each live member (so member-level journals close
+        their epochs), then the shared clock is lifted over the slowest
+        member — the point where queued writes' simulated time becomes
+        visible to the layers above.
+        """
+        tr = self.tracer
+        if tr:
+            tr.instant(
+                "volume.barrier",
+                label=label,
+                queued=self.volume_stats.inflight_writes,
+            )
+        horizon = self.clock.now
+        for i in self._live_members():
+            disk = self.disks[i]
+            disk.barrier(label)
+            horizon = max(horizon, disk.clock.now)
+        self.clock.advance_to(horizon)
+        self.stats.barriers += 1
+        self.volume_stats.barriers += 1
+        self.volume_stats.note_drain()
+
+    def drain(self) -> None:
+        """Advance the shared clock over every live member (no barrier)."""
+        for i in self._live_members():
+            self.clock.advance_to(self.disks[i].clock.now)
+        self.volume_stats.note_drain()
+
+    # ------------------------------------------------------------------
+    # Failure injection / inspection (time-free, mirrors SimulatedDisk)
+    # ------------------------------------------------------------------
+
+    def install(self, lba: int, data: bytes) -> None:
+        """Place whole sectors on every relevant member without charging time."""
+        size = self.geometry.sector_size
+        if len(data) % size != 0:
+            raise ValueError(
+                f"install length {len(data)} is not a multiple of sector size {size}"
+            )
+        nsectors = len(data) // size
+        self._check_range(lba, nsectors)
+        if self.map is None:
+            for i in self._live_members():
+                self.disks[i].install(lba, data)
+            return
+        view = memoryview(data)
+        for sub in self._split(lba, nsectors):
+            disk = self._member(sub.disk)
+            chunk = bytearray(sub.nsectors * size)
+            for sub_off, logical_off, count in sub.pieces:
+                chunk[sub_off * size : (sub_off + count) * size] = view[
+                    logical_off * size : (logical_off + count) * size
+                ]
+            disk.install(sub.plba, bytes(chunk))
+
+    def peek(self, lba: int, nsectors: int) -> bytes:
+        """Read bytes without charging time (tests and recovery checks)."""
+        self._check_range(lba, nsectors)
+        if self.map is None:
+            return self._member(self._live_members()[0]).peek(lba, nsectors)
+        size = self.geometry.sector_size
+        out = bytearray(nsectors * size)
+        for sub in self._split(lba, nsectors):
+            buf = self._member(sub.disk).peek(sub.plba, sub.nsectors)
+            for sub_off, logical_off, count in sub.pieces:
+                out[logical_off * size : (logical_off + count) * size] = buf[
+                    sub_off * size : (sub_off + count) * size
+                ]
+        return bytes(out)
+
+    def corrupt(self, lba: int, nsectors: int = 1) -> None:
+        """Overwrite sectors with garbage on every relevant member."""
+        self._check_range(lba, nsectors)
+        if self.map is None:
+            for i in self._live_members():
+                self.disks[i].corrupt(lba, nsectors)
+            return
+        for sub in self._split(lba, nsectors):
+            self._member(sub.disk).corrupt(sub.plba, sub.nsectors)
+
+    @property
+    def sectors_populated(self) -> int:
+        """Sectors ever written across the volume (per-copy for stripes)."""
+        if self.map is None:
+            return max(
+                (self.disks[i].sectors_populated for i in self._live_members()),
+                default=0,
+            )
+        return sum(disk.sectors_populated for disk in self.disks)
+
+    def __repr__(self) -> str:
+        live = sum(self.alive)
+        return (
+            f"Volume({self.layout}, {live}/{len(self.disks)} disks, "
+            f"{self.geometry.capacity_bytes // (1024 * 1024)} MB, "
+            f"chunk={self.chunk_sectors})"
+        )
