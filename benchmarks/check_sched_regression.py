@@ -1,0 +1,159 @@
+"""CI gate: the multi-tenant scheduler must keep paying for itself.
+
+Usage::
+
+    python benchmarks/check_sched_regression.py COMMITTED.json FRESH.json
+
+Re-checks the fresh ``BENCH_multitenant.json`` acceptance figures with
+readable failure messages, then compares against the committed baseline:
+
+* **single-tenant tax** — one tenant driving the write-path fsync
+  workload through the scheduler must reproduce the direct path's
+  simulated-I/O figures *exactly* (any drift is a >0% — let alone >25% —
+  throughput regression, since all benchmark throughput figures are
+  simulated time). The wall-clock cost of the queue hop, measured
+  against the direct run in the same process, must stay under
+  ``WALL_RATIO_MAX`` — a gross-regression guard, deliberately loose
+  because wall time is machine-dependent;
+* **architecture floor** — QoS aggregate throughput at the baseline
+  tenant count must stay >= the report's own floor (2x naive FIFO) and
+  per-tenant fairness within its ceiling (1.5x max/min);
+* **baseline comparison** — the qos-vs-fifo multiple must not fall more
+  than ``SLACK`` below the committed report's (simulated figures, so at
+  equal scale they should match exactly).
+
+A missing or schema-incompatible *committed* baseline is not a
+regression: that comparison is skipped with a message and exit 0. A bad
+*fresh* report still fails — it was produced by this very CI run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SLACK = 1.25
+WALL_RATIO_MAX = 2.0
+
+SCHEMA_VERSION = 1
+
+
+class BaselineUnusable(Exception):
+    """The committed baseline cannot participate in the comparison."""
+
+
+def load_committed_baseline(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        raise BaselineUnusable(f"committed baseline {path!r} does not exist")
+    except (OSError, ValueError) as exc:
+        raise BaselineUnusable(f"committed baseline {path!r} is unreadable: {exc}")
+    if not isinstance(report, dict):
+        raise BaselineUnusable(
+            f"committed baseline {path!r} is not a report object "
+            f"(got {type(report).__name__})"
+        )
+    version = report.get("schema_version", 1)
+    if version != SCHEMA_VERSION:
+        raise BaselineUnusable(
+            f"committed baseline {path!r} has schema_version {version!r}, "
+            f"this checker understands {SCHEMA_VERSION}"
+        )
+    if not report.get("qos_vs_fifo_throughput_x"):
+        raise BaselineUnusable(
+            f"committed baseline {path!r} carries no qos-vs-fifo figure"
+        )
+    return report
+
+
+def check_fresh(fresh: dict) -> list[str]:
+    """Failures in the fresh report's own acceptance figures."""
+    failures = []
+    single = fresh.get("single_tenant") or {}
+    if not single.get("figures_identical"):
+        failures.append(
+            "single tenant through the scheduler no longer reproduces the "
+            "direct write path's simulated-I/O figures"
+        )
+    ratio = single.get("wall_ratio")
+    if ratio is not None and ratio > WALL_RATIO_MAX:
+        failures.append(
+            f"single-tenant wall-clock cost through the scheduler is "
+            f"{ratio:.2f}x direct (allowed <= {WALL_RATIO_MAX}x)"
+        )
+    speedup = fresh.get("qos_vs_fifo_throughput_x")
+    floor = fresh.get("throughput_floor_x", 2.0)
+    if not speedup or speedup < floor:
+        failures.append(
+            f"qos aggregate throughput is {speedup!r}x fifo "
+            f"(floor {floor}x)"
+        )
+    baseline_tenants = (fresh.get("fifo_baseline") or {}).get("tenants")
+    qos = next(
+        (
+            arm
+            for arm in fresh.get("sweep", [])
+            if arm.get("tenants") == baseline_tenants
+        ),
+        None,
+    )
+    ceiling = fresh.get("fairness_ceiling", 1.5)
+    if qos is None:
+        failures.append("fresh report has no qos arm at the baseline tenant count")
+    elif not qos.get("fairness_ratio") or qos["fairness_ratio"] > ceiling:
+        failures.append(
+            f"per-tenant fairness ratio {qos.get('fairness_ratio')!r} "
+            f"exceeds {ceiling}x at {baseline_tenants} tenants"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[2], encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    failures = check_fresh(fresh)
+    single = fresh.get("single_tenant") or {}
+    print(
+        f"single tenant: figures_identical={single.get('figures_identical')}, "
+        f"wall ratio {single.get('wall_ratio', 0) or 0:.2f}x "
+        f"(allowed <= {WALL_RATIO_MAX}x)"
+    )
+    print(
+        f"qos vs fifo: {fresh.get('qos_vs_fifo_throughput_x', 0) or 0:.2f}x "
+        f"(floor {fresh.get('throughput_floor_x', 2.0)}x)"
+    )
+
+    try:
+        committed = load_committed_baseline(argv[1])
+    except BaselineUnusable as exc:
+        print(f"SKIP: {exc}")
+        print("SKIP: no comparable committed baseline; baseline gate not run")
+    else:
+        committed_x = committed["qos_vs_fifo_throughput_x"]
+        fresh_x = fresh.get("qos_vs_fifo_throughput_x") or 0.0
+        print(
+            f"qos-vs-fifo multiple: committed {committed_x:.2f}x, "
+            f"fresh {fresh_x:.2f}x (allowed >= {committed_x / SLACK:.2f}x)"
+        )
+        if fresh_x * SLACK < committed_x:
+            failures.append(
+                f"qos-vs-fifo throughput multiple fell "
+                f"{(1 - fresh_x / committed_x) * 100:.1f}% below the "
+                f"committed baseline (> {(SLACK - 1) * 100:.0f}% allowed)"
+            )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: multi-tenant scheduler figures within thresholds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -24,13 +24,16 @@ from repro.crashsim import (
     CrashStateEnumerator,
     LLDCrashChecker,
     MirrorRecording,
+    MultiTenantOracleDriver,
     OracleDriver,
     RecordingDisk,
     explore_degraded_mirror,
     run_matrix_workload,
+    run_multitenant_matrix_workload,
 )
 from repro.disk import SimulatedDisk, fast_test_disk
 from repro.lld import LLD, LLDConfig
+from repro.sched import LDServer, QoSElevatorScheduler
 from repro.sim import VirtualClock
 from repro.volume import Volume
 from benchmarks.conftest import emit
@@ -195,3 +198,89 @@ def test_degraded_mirror_matrix(benchmark):
         assert report.states_by_kind.get("torn", 0) > 0
         assert report.states_by_kind.get("reorder", 0) > 0
         assert report.violations == [], (survivor, report.violations[:3])
+
+
+# ----------------------------------------------------------------------
+# Scheduler in the write path: two tenants, group commit, same matrix
+# ----------------------------------------------------------------------
+
+SCHED_WORKLOAD = dict(
+    n_small=12, n_overwrites=4, generations=3, n_fill=14
+)
+
+MIN_SCHED_STATES = 300
+
+
+def run_scheduler_matrix():
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=8), VirtualClock())
+    recording = RecordingDisk(disk)
+    lld = LLD(recording, LLDConfig(**CONFIG))
+    lld.initialize()
+    server = LDServer(lld, QoSElevatorScheduler(), group_commit=2)
+    a = server.open_session("a")
+    b = server.open_session("b")
+    driver = MultiTenantOracleDriver(server, recording)
+    run_multitenant_matrix_workload(driver, a, b, **SCHED_WORKLOAD)
+    enum = CrashStateEnumerator(recording, reorder_samples_per_epoch=16)
+    checker = LLDCrashChecker(lld.config, driver.oracle)
+    return recording, driver, server, enum.explore(checker)
+
+
+def test_scheduler_crash_matrix(benchmark):
+    """The request queue and group commit open no new crash window.
+
+    Two tenant sessions run the multi-tenant matrix workload through a
+    QoS server with cross-tenant group commit; every crash image of the
+    recorded journal must still satisfy all four durability invariants
+    against the *global* acknowledgement oracle.
+    """
+    recording, driver, server, report = benchmark.pedantic(
+        run_scheduler_matrix, rounds=1, iterations=1
+    )
+
+    emit(
+        render_table(
+            "Crash matrix through the LD server (qos, group_commit=2)",
+            ["value"],
+            {
+                "journal writes": {"value": float(recording.position)},
+                "ack points": {"value": float(len(driver.oracle.points))},
+                "flush intents deferred": {
+                    "value": float(server.stats.flushes_deferred)
+                },
+                "group commits": {"value": float(server.stats.group_commits)},
+                "crash states": {"value": float(report.states_total)},
+                "violations": {"value": float(len(report.violations))},
+            },
+            note="two tenants, global oracle: one tenant's commit acks the other",
+        )
+    )
+
+    # Merge into the crash-matrix report (stay robust if the other
+    # matrix tests did not run this session).
+    try:
+        payload = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = {"benchmark": "crash_matrix"}
+    payload["scheduler"] = {
+        "config": CONFIG,
+        "workload": SCHED_WORKLOAD,
+        "scheduler": "qos-elevator",
+        "group_commit": 2,
+        "tenants": 2,
+        "journal_writes": recording.position,
+        "ack_points": len(driver.oracle.points),
+        "flushes_deferred": server.stats.flushes_deferred,
+        "group_commits": server.stats.group_commits,
+        **crash_matrix_summary(report),
+    }
+    emit(f"wrote {write_json_report(REPORT_PATH, payload)}")
+
+    assert report.states_total >= MIN_SCHED_STATES
+    assert report.states_by_kind.get("prefix", 0) > 0
+    assert report.states_by_kind.get("torn", 0) > 0
+    assert report.states_by_kind.get("reorder", 0) > 0
+    assert report.violations == []
+    # The zero-violation run actually exercised the deferred-commit path.
+    assert server.stats.flushes_deferred > 0
+    assert server.stats.group_commits > 0

@@ -13,10 +13,12 @@ One module per workload family from the paper's evaluation (section 4.2):
 
 from repro.bench.builders import (
     BuildSpec,
+    build_ld_server,
     build_minix,
     build_minix_lld,
     build_ffs,
     default_scale,
+    make_scheduler,
 )
 from repro.bench.smallfile import SmallFilePhases, small_file_benchmark
 from repro.bench.largefile import LargeFilePhases, large_file_benchmark
@@ -31,10 +33,12 @@ from repro.bench.report import (
 
 __all__ = [
     "BuildSpec",
+    "build_ld_server",
     "build_minix",
     "build_minix_lld",
     "build_ffs",
     "default_scale",
+    "make_scheduler",
     "SmallFilePhases",
     "small_file_benchmark",
     "LargeFilePhases",

@@ -17,6 +17,7 @@ from repro.disk import SimulatedDisk, hp_c3010
 from repro.fs.ffs import make_ffs
 from repro.fs.minix import make_minix, make_minix_lld
 from repro.lld import LLD, LLDConfig
+from repro.sched import FIFOScheduler, LDServer, QoSElevatorScheduler
 from repro.sim import VirtualClock
 from repro.volume import Volume
 
@@ -117,6 +118,7 @@ def build_minix_lld(
     legacy_codecs: bool = False,
     n_disks: int | None = None,
     volume_layout: str = "stripe",
+    scheduler: str | None = None,
 ):
     """MINIX LLD (0.5 MB segments, 4 KB blocks, read-ahead off).
 
@@ -131,6 +133,12 @@ def build_minix_lld(
     :class:`~repro.volume.Volume` (segment-granular striping by default)
     instead of a bare disk; ``None`` keeps the single-disk testbed
     byte- and figure-identical to previous revisions.
+
+    With ``scheduler`` set (``"qos"`` or ``"fifo"``), the store rides a
+    tenant session of an :class:`~repro.sched.LDServer` instead of
+    driving the LLD directly; ``flush_batch`` becomes the server's
+    cross-tenant ``group_commit``. The server is reachable as
+    ``fs.store.session.server``.
     """
     config = LLDConfig(
         segment_size=segment_size or spec.segment_size,
@@ -149,8 +157,15 @@ def build_minix_lld(
         )
     lld = LLD(backing, config)
     lld.initialize()
+    backend = lld
+    if scheduler is not None:
+        server = LDServer(
+            lld, make_scheduler(scheduler), group_commit=flush_batch
+        )
+        backend = server.open_session("fs")
+        flush_batch = 1
     fs = make_minix_lld(
-        lld,
+        backend,
         cache_bytes=spec.cache_bytes,
         ninodes=min(spec.ninodes, spec.block_size * 8),
         list_per_file=list_per_file,
@@ -161,6 +176,55 @@ def build_minix_lld(
     if compression:
         _enable_compression(fs, lld)
     return fs, lld
+
+
+def make_scheduler(name: str):
+    """A fresh scheduler instance by benchmark arm name."""
+    if name in ("qos", "elevator", "qos-elevator"):
+        return QoSElevatorScheduler()
+    if name == "fifo":
+        return FIFOScheduler()
+    raise ValueError(f"unknown scheduler arm: {name!r}")
+
+
+def build_ld_server(
+    spec: BuildSpec,
+    *,
+    scheduler: str = "qos",
+    group_commit: int = 1,
+    segment_size: int | None = None,
+    read_cache: bool = False,
+    n_disks: int | None = None,
+    volume_layout: str = "stripe",
+    record_dispatch: bool = False,
+):
+    """A bare LLD wrapped in a multi-tenant :class:`~repro.sched.LDServer`.
+
+    Returns ``(server, lld)``; callers open tenant sessions themselves.
+    This is the multi-tenant macro benchmark's stack: tenants drive LD
+    ops directly, with no per-tenant file system in the way.
+    """
+    config = LLDConfig(
+        segment_size=segment_size or spec.segment_size,
+        block_size=spec.block_size,
+        checkpoint_slots=2,
+        read_cache_enabled=read_cache,
+    )
+    if n_disks is None:
+        backing = fresh_disk(spec)
+    else:
+        backing = fresh_volume(
+            spec, n_disks, layout=volume_layout, segment_size=config.segment_size
+        )
+    lld = LLD(backing, config)
+    lld.initialize()
+    server = LDServer(
+        lld,
+        make_scheduler(scheduler),
+        group_commit=group_commit,
+        record_dispatch=record_dispatch,
+    )
+    return server, lld
 
 
 def _enable_compression(fs, lld) -> None:

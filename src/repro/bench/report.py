@@ -8,7 +8,7 @@ import json
 from repro.obs.metrics import MetricsRegistry
 
 
-def stack_registry(fs=None, lld=None, recovery=None) -> MetricsRegistry:
+def stack_registry(fs=None, lld=None, recovery=None, server=None) -> MetricsRegistry:
     """One :class:`~repro.obs.MetricsRegistry` over a built FS→LD→disk stack.
 
     This replaces the benchmarks' ad-hoc merging of ``as_dict()`` payloads:
@@ -18,10 +18,14 @@ def stack_registry(fs=None, lld=None, recovery=None) -> MetricsRegistry:
 
     ``recovery`` overrides the LD's own ``recovery_report`` (useful when
     the report came from a *different* post-crash LLD instance).
+    ``server`` adopts a :class:`~repro.sched.LDServer`'s counters under
+    the ``sched`` layer.
     """
     registry = MetricsRegistry()
     if fs is not None:
         registry.register("fs", fs.store.stats)
+    if server is not None:
+        registry.register("sched", server.stats)
     if lld is not None:
         registry.register("lld", lld.stats)
         registry.register("disk", lld.disk.stats)

@@ -14,6 +14,10 @@ from repro.crashsim.explorer import (
     ExplorationReport,
     Violation,
 )
+from repro.crashsim.multitenant import (
+    MultiTenantOracleDriver,
+    run_multitenant_matrix_workload,
+)
 from repro.crashsim.oracle import (
     DurabilityOracle,
     LLDCrashChecker,
@@ -37,6 +41,7 @@ __all__ = [
     "ExplorationReport",
     "LLDCrashChecker",
     "MirrorRecording",
+    "MultiTenantOracleDriver",
     "OracleDriver",
     "OraclePoint",
     "RecordingDisk",
@@ -46,4 +51,5 @@ __all__ = [
     "degraded_mirror_volume",
     "explore_degraded_mirror",
     "run_matrix_workload",
+    "run_multitenant_matrix_workload",
 ]

@@ -15,6 +15,7 @@ The changes relative to the classic store mirror the paper's list:
 from __future__ import annotations
 
 import struct
+import warnings
 
 from repro.fs.api import NoSpace
 from repro.fs.cache import BufferCache
@@ -24,6 +25,7 @@ from repro.ld.errors import LDError, OutOfSpaceError
 from repro.ld.hints import LIST_HEAD
 from repro.ld.interface import LogicalDisk
 from repro.obs.trace import NULL_SPAN
+from repro.sched import LDServer, TenantSession
 
 _SUPER = struct.Struct("<4sIIBBIIIII")
 _MAGIC = b"MXLD"
@@ -43,11 +45,38 @@ class LDStore(BlockStore):
         list_per_file: bool = True,
         inode_block_mode: str = MODE_PACKED,
         flush_batch: int = 1,
+        legacy_group_commit: bool = False,
     ) -> None:
         if inode_block_mode not in (MODE_PACKED, MODE_SMALL):
             raise ValueError(f"unknown inode_block_mode {inode_block_mode!r}")
         if flush_batch < 1:
             raise ValueError(f"flush_batch must be >= 1: {flush_batch}")
+        # Group commit now lives in the scheduler: a store with
+        # ``flush_batch > 1`` over a bare LD wraps it in a solo
+        # :class:`~repro.sched.LDServer` whose cross-tenant group commit
+        # does the sync coalescing. A store handed a ``TenantSession``
+        # already participates in its server's group commit, so the batch
+        # size belongs to that server, not here.
+        self._session = ld if isinstance(ld, TenantSession) else None
+        self._legacy_group_commit = False
+        if flush_batch > 1:
+            if self._session is not None:
+                raise ValueError(
+                    "flush_batch is configured on the session's LDServer "
+                    "(group_commit=N), not on a store riding a session"
+                )
+            if legacy_group_commit:
+                warnings.warn(
+                    "LDStore(legacy_group_commit=True) keeps the deprecated "
+                    "in-store sync counting; group commit now routes through "
+                    "repro.sched.LDServer and this path will be removed",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                self._legacy_group_commit = True
+            else:
+                server = LDServer(ld, group_commit=flush_batch)
+                ld = self._session = server.open_session("fs")
         self.ld = ld
         self.block_size = block_size
         self.stats = StoreStats()
@@ -154,6 +183,21 @@ class LDStore(BlockStore):
         with (tr.span("fs.sync") if tr else NULL_SPAN) as sp:
             self.stats.syncs += 1
             self.cache.flush(ordered=False)
+            session = self._session
+            if session is not None and not self._legacy_group_commit:
+                # Scheduler-routed path: the sync becomes a deferrable
+                # flush intent in the server's cross-tenant group commit,
+                # which reports back whether the group went physical.
+                committed = session.request_flush()
+                if sp is not None:
+                    sp.attrs["deferred"] = not committed
+                if committed:
+                    self._pending_syncs = 0
+                    self.stats.group_commits += 1
+                else:
+                    self._pending_syncs += 1
+                    self.stats.syncs_deferred += 1
+                return
             self._pending_syncs += 1
             deferred = self._pending_syncs < self.flush_batch
             if sp is not None:
@@ -176,6 +220,11 @@ class LDStore(BlockStore):
         self.cache.flush(ordered=False)
         self.barrier()
         self.cache.drop()
+
+    @property
+    def session(self) -> TenantSession | None:
+        """The tenant session carrying this store's ops (None on a bare LD)."""
+        return self._session
 
     @property
     def clock(self):

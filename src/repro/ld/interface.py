@@ -95,6 +95,16 @@ class LogicalDisk(abc.ABC):
         """
         return self.read_blocks(self.list_blocks(lid))
 
+    def placement_hint(self, bid: int) -> tuple[int, int] | None:
+        """``(spindle, lba)`` of ``bid``'s durable location, if known.
+
+        Advisory, for I/O schedulers (``repro.sched``): an elevator sorts
+        read batches by this key to sweep each spindle once in LBA order.
+        Implementations that track physical placement (LLD) override it;
+        the default — no placement knowledge — is always safe.
+        """
+        return None
+
     @abc.abstractmethod
     def new_block(self, lid: int, pred_bid: int, reservation: Reservation | None = None) -> int:
         """Allocate a logical block number and link it into list ``lid``.

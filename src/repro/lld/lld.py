@@ -47,6 +47,47 @@ from repro.lld.segment import (
 from repro.lld.state import KIND_FIRST, KIND_LINK, KIND_META, NO_SEGMENT, LLDState
 
 
+class TenantCounters:
+    """Per-tenant slice of the hot-path counters.
+
+    Kept deliberately tiny (a ``__slots__`` bag of ints) because these
+    bump inside the read/write hot paths whenever a tenant is bound via
+    :meth:`LLD.set_tenant`. With no tenant bound the cost is one load
+    and one branch per operation — the multi-tenant server binds the
+    tenant around each dispatched op; single-caller stacks never pay.
+    """
+
+    __slots__ = (
+        "blocks_read",
+        "blocks_written",
+        "bytes_read",
+        "bytes_written",
+        "memory_reads",
+        "cache_hits",
+        "cache_misses",
+        "flushes",
+    )
+
+    def __init__(self) -> None:
+        self.blocks_read = 0
+        self.blocks_written = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.memory_reads = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.flushes = 0
+
+    def copy(self) -> "TenantCounters":
+        twin = TenantCounters()
+        for name in self.__slots__:
+            setattr(twin, name, getattr(self, name))
+        return twin
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 @dataclass
 class LLDStats:
     """Operation counters for benchmarks and tests."""
@@ -97,7 +138,18 @@ class LLDStats:
     # 0 on the zero-copy path, large on legacy_codecs (see segment.py).
     segment_bytes_copied: int = 0
 
+    # Per-tenant counter slices, populated only when a multi-tenant
+    # server binds tenants with :meth:`LLD.set_tenant` (name -> counters).
+    tenants: dict = field(default_factory=dict)
+
     extra: dict = field(default_factory=dict)
+
+    def tenant_counters(self, name: str) -> TenantCounters:
+        """The (created-on-demand) counter slice for tenant ``name``."""
+        counters = self.tenants.get(name)
+        if counters is None:
+            counters = self.tenants[name] = TenantCounters()
+        return counters
 
     @property
     def write_amplification(self) -> float | None:
@@ -110,14 +162,18 @@ class LLDStats:
         """Copy of the current counters (for before/after deltas)."""
         copy = dataclasses.replace(self)
         copy.coalesced_runs = Counter(self.coalesced_runs)
+        copy.tenants = {name: c.copy() for name, c in self.tenants.items()}
         copy.extra = dict(self.extra)
         return copy
 
     def as_dict(self) -> dict:
         """Machine-readable form for benchmark JSON reports."""
-        out = dataclasses.asdict(self)
+        out = dataclasses.asdict(dataclasses.replace(self, tenants={}))
         out["coalesced_runs"] = {
             int(length): count for length, count in sorted(self.coalesced_runs.items())
+        }
+        out["tenants"] = {
+            name: c.as_dict() for name, c in sorted(self.tenants.items())
         }
         out["write_amplification"] = self.write_amplification
         return out
@@ -160,6 +216,10 @@ class LLD(LogicalDisk):
 
         self._open: OpenSegment | None = None
         self._initialized = False
+        #: Per-tenant counter slice currently on the wire (None = global
+        #: counters only). Bound by the multi-tenant server around each
+        #: dispatched op via :meth:`set_tenant`.
+        self._tenant: TenantCounters | None = None
         self._current_aru = 0
         # Open (uncommitted) ARUs -> segments the cleaner must not touch
         # while they are in flight. Multiple entries = concurrent ARUs
@@ -241,6 +301,36 @@ class LLD(LogicalDisk):
     # Blocks
     # ------------------------------------------------------------------
 
+    def set_tenant(self, name: str | None) -> None:
+        """Bind (or clear) the tenant attributed in the hot-path counters.
+
+        The multi-tenant server wraps every dispatched op in a
+        ``set_tenant(name)`` / ``set_tenant(None)`` pair so reads,
+        writes, and cache traffic land in ``stats.tenants[name]`` beside
+        the global counters. With no tenant bound the hot paths pay one
+        load and one branch.
+        """
+        self._tenant = None if name is None else self.stats.tenant_counters(name)
+
+    def placement_hint(self, bid: int) -> tuple[int, int] | None:
+        """``(spindle, lba)`` of a block's durable location, or ``None``.
+
+        The scheduler's elevator sorts read batches by this key so each
+        batch sweeps every spindle once in LBA order. Unallocated,
+        never-written, and open-segment blocks (served from memory) have
+        no physical location to seek to and return ``None``.
+        """
+        entry = self.state.blocks.get(bid)
+        if entry is None or entry.segment == NO_SEGMENT:
+            return None
+        if self._open is not None and entry.segment == self._open.index:
+            return None
+        lba, _nsectors, _skew = self.layout.block_extent(
+            entry.segment, entry.offset, entry.stored_length
+        )
+        spindles = self.layout.slot_spindles
+        return (spindles[entry.segment] if spindles else 0, lba)
+
     def read(self, bid: int) -> bytes:
         self._require_init()
         tr = self.tracer
@@ -253,16 +343,28 @@ class LLD(LogicalDisk):
             return b""
         self.stats.blocks_read += 1
         self.read_counts[bid] += 1
+        tenant = self._tenant
         assert self._open is not None
         if entry.segment == self._open.index:
             raw = self._open.read_data(entry.offset, entry.stored_length)
             self.stats.memory_reads += 1
-            return self._decode(entry, raw)
+            data = self._decode(entry, raw)
+            if tenant is not None:
+                tenant.blocks_read += 1
+                tenant.memory_reads += 1
+                tenant.bytes_read += len(data)
+            return data
         cache = self.read_cache
         if cache is not None:
             cached = cache.get(bid)
             if cached is not None:
+                if tenant is not None:
+                    tenant.blocks_read += 1
+                    tenant.cache_hits += 1
+                    tenant.bytes_read += len(cached)
                 return cached
+            if tenant is not None:
+                tenant.cache_misses += 1
         # Miss: fetch from disk, extending the request over the block's
         # physically contiguous successor run (the list structure encodes
         # "what comes next") when read-ahead is on.
@@ -275,6 +377,9 @@ class LLD(LogicalDisk):
             cache.put(bid, data)
             for (succ_bid, succ_entry), raw in zip(run[1:], raws[1:]):
                 cache.put(succ_bid, self._decode(succ_entry, raw), prefetched=True)
+        if tenant is not None:
+            tenant.blocks_read += 1
+            tenant.bytes_read += len(data)
         return data
 
     def read_blocks(self, bids: Sequence[int]) -> list[bytes]:
@@ -295,6 +400,7 @@ class LLD(LogicalDisk):
         assert self._open is not None
         self.stats.vectored_reads += 1
         cache = self.read_cache
+        tenant = self._tenant
         results: list[bytes | None] = [None] * len(bids)
         pending: dict[int, list[tuple[int, int, object]]] = {}
         for i, bid in enumerate(bids):
@@ -304,16 +410,26 @@ class LLD(LogicalDisk):
                 continue
             self.stats.blocks_read += 1
             self.read_counts[bid] += 1
+            if tenant is not None:
+                tenant.blocks_read += 1
             if entry.segment == self._open.index:
                 raw = self._open.read_data(entry.offset, entry.stored_length)
                 self.stats.memory_reads += 1
                 results[i] = self._decode(entry, raw)
+                if tenant is not None:
+                    tenant.memory_reads += 1
+                    tenant.bytes_read += len(results[i])
                 continue
             if cache is not None:
                 cached = cache.get(bid)
                 if cached is not None:
                     results[i] = cached
+                    if tenant is not None:
+                        tenant.cache_hits += 1
+                        tenant.bytes_read += len(cached)
                     continue
+                if tenant is not None:
+                    tenant.cache_misses += 1
             pending.setdefault(entry.segment, []).append((i, bid, entry))
         run_specs: list[tuple[int, list[tuple[int, int, object]]]] = []
         for segment in sorted(pending):
@@ -352,6 +468,8 @@ class LLD(LogicalDisk):
                 for (index, bid, entry), raw in zip(items, raws):
                     data = self._decode(entry, raw)
                     results[index] = data
+                    if tenant is not None:
+                        tenant.bytes_read += len(data)
                     if cache is not None:
                         cache.put(bid, data)
         else:
@@ -361,6 +479,8 @@ class LLD(LogicalDisk):
                 for (index, bid, entry), raw in zip(items, raws):
                     data = self._decode(entry, raw)
                     results[index] = data
+                    if tenant is not None:
+                        tenant.bytes_read += len(data)
                     if cache is not None:
                         cache.put(bid, data)
         return results  # type: ignore[return-value]
@@ -464,6 +584,10 @@ class LLD(LogicalDisk):
         self.stats.logical_bytes_written += len(data)
         self.stats.stored_bytes_written += len(stored)
         self.stats.data_bytes_logical += len(stored)
+        tenant = self._tenant
+        if tenant is not None:
+            tenant.blocks_written += 1
+            tenant.bytes_written += len(data)
 
     def swap_contents(self, bid_a: int, bid_b: int) -> None:
         """Atomically swap the physical contents of two logical blocks.
@@ -677,6 +801,21 @@ class LLD(LogicalDisk):
         self._commit_aru(self._current_aru)
         self._current_aru = 0
 
+    def abort_aru(self) -> None:
+        """Abandon the open ARU: its operations never commit.
+
+        The explicit form of the :meth:`aru` context manager's exception
+        path, for clients (tenant sessions, say) that drive ARUs through
+        ``begin_aru``/``end_aru`` calls rather than a ``with`` block.
+        In-memory state is not rolled back — the staged operations simply
+        vanish at the next recovery, exactly as a crash would leave them.
+        """
+        self._require_init()
+        if not self._current_aru:
+            raise ARUError("no atomic recovery unit is open")
+        self._open_arus.pop(self._current_aru, None)  # never commits
+        self._current_aru = 0
+
     def _new_aru(self) -> int:
         aru = self.state.next_ts
         self.state.next_ts += 1
@@ -766,6 +905,8 @@ class LLD(LogicalDisk):
                 self.stats.flushes_noop += 1
                 return
             self.stats.flushes += 1
+            if self._tenant is not None:
+                self._tenant.flushes += 1
             if self._open.fill_fraction >= self.config.partial_threshold:
                 self._seal_segment()
             elif self._try_nvram_absorb():

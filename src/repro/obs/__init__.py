@@ -50,7 +50,9 @@ __all__ = [
 ]
 
 #: Attributes along which :func:`attach_tracer` descends the stack.
-_CHILD_ATTRS = ("store", "ld", "disk", "inner")
+#: ``server`` descends a tenant session into its LD server, so attaching
+#: at any tenant instruments the shared scheduler and the stack below it.
+_CHILD_ATTRS = ("store", "ld", "disk", "inner", "server")
 
 
 def attach_tracer(tracer: Tracer | None, *components) -> Tracer | None:

@@ -1,0 +1,429 @@
+"""The multi-tenant LD server: queues in, scheduled LD calls out.
+
+One :class:`LDServer` owns one live :class:`~repro.ld.LogicalDisk` and
+multiplexes any number of tenant sessions over it, the way an object
+server multiplexes clients in a distributed file system. Sessions submit
+:class:`~repro.sched.ops.Op` objects into per-tenant queues; a pluggable
+:class:`~repro.sched.scheduler.Scheduler` decides dispatch order; the
+server executes the chosen ops against the LD and completes them.
+
+Ordering contract (pinned by the property tests in ``tests/sched``):
+
+* **Per-tenant program order.** Ops of one tenant dispatch in submission
+  order, always. Schedulers can only pop queue heads, so this holds by
+  construction.
+* **Cross-tenant freedom.** Ops of different tenants may interleave and
+  reorder arbitrarily between durability points.
+* **Barrier epochs.** A ``FLUSH`` op is a durability point: when its
+  intent is committed (alone, or batched with other tenants' intents by
+  the group commit), every op any committed tenant submitted *before*
+  its flush has already been dispatched. Deferrable flushes never jump
+  ahead of their tenant's earlier ops, and the physical ``ld.flush()``
+  covers all dispatched work — so barrier semantics survive queueing.
+
+Concurrency model: this is a discrete-event simulation, so the server is
+synchronous — ``step()`` runs one scheduler round on the caller's
+thread. Sessions provide both a blocking LD facade (submit + drain) and
+nonblocking ``submit_*`` handles for closed-loop multi-tenant drivers.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import NULL_SPAN
+from repro.sched.ops import (
+    KIND_CALL,
+    KIND_FLUSH,
+    KIND_READ,
+    KIND_READ_BLOCKS,
+    KIND_WRITE,
+    Op,
+)
+from repro.sched.queues import TenantQueue, TokenBucket
+from repro.sched.stats import SchedStats
+
+
+class SchedulerStalledError(RuntimeError):
+    """The scheduler made no progress while ops were still queued."""
+
+
+class LDServer:
+    """Request-queue front end over one logical disk.
+
+    ``group_commit`` is the cross-tenant generalization of the old
+    ``LDStore(flush_batch=N)``: deferrable flush intents from *any*
+    tenant pool together, and the Nth intent (or any forced flush)
+    triggers one physical ``ld.flush()`` that acknowledges them all.
+
+    ``record_dispatch=True`` keeps an event journal — ``("submit", ...)``,
+    ``("dispatch", ...)``, ``("commit", ...)`` tuples — used by the
+    property tests to check ordering invariants. Off by default: the
+    journal grows with the workload.
+    """
+
+    def __init__(
+        self,
+        ld,
+        scheduler=None,
+        *,
+        group_commit: int = 1,
+        record_dispatch: bool = False,
+        tracer=None,
+    ) -> None:
+        if group_commit < 1:
+            raise ValueError(f"group_commit must be >= 1: {group_commit}")
+        if scheduler is None:
+            from repro.sched.scheduler import QoSElevatorScheduler
+
+            scheduler = QoSElevatorScheduler()
+        self.ld = ld
+        self.scheduler = scheduler
+        self.group_commit = group_commit
+        self.stats = SchedStats()
+        self.tracer = tracer if tracer is not None else getattr(ld, "tracer", None)
+        self.tenants: dict[str, TenantQueue] = {}
+        self.sessions: dict[str, object] = {}
+        self.dispatch_log: list[tuple] | None = [] if record_dispatch else None
+        self.block_size = getattr(getattr(ld, "config", None), "block_size", 4096)
+        self._names: list[str] = []
+        self._rr = 0
+        self._arrival = 0
+        self._epoch = 0
+        self._intents: list[Op] = []
+        # Resolved once: per-tenant attribution + placement hooks are
+        # optional on the LD (present on LLD, absent on e.g. bare ULD).
+        self._set_tenant = getattr(ld, "set_tenant", None)
+        self._placement = getattr(ld, "placement_hint", None)
+        self._has_aru_slot = hasattr(ld, "_current_aru")
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def open_session(
+        self,
+        name: str,
+        *,
+        weight: float = 1.0,
+        rate_bytes_per_sec: float | None = None,
+        burst_bytes: float | None = None,
+    ):
+        """Open a tenant session; returns its LD-compatible handle.
+
+        ``weight`` scales the tenant's deficit-round-robin share;
+        ``rate_bytes_per_sec`` adds a token-bucket cap (burst defaults to
+        one simulated second of rate).
+        """
+        from repro.sched.session import TenantSession
+
+        if name in self.tenants:
+            raise ValueError(f"tenant session already open: {name!r}")
+        bucket = None
+        if rate_bytes_per_sec is not None:
+            bucket = TokenBucket(
+                rate_bytes_per_sec,
+                burst_bytes if burst_bytes is not None else rate_bytes_per_sec,
+            )
+        queue = TenantQueue(name, weight, bucket, self.stats.tenant(name))
+        self.tenants[name] = queue
+        self._names.append(name)
+        session = TenantSession(self, queue)
+        self.sessions[name] = session
+        return session
+
+    # ------------------------------------------------------------------
+    # Submission / draining
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        disk = getattr(self.ld, "disk", None)
+        clock = getattr(disk, "clock", None)
+        return clock.now if clock is not None else 0.0
+
+    def submit(self, op: Op) -> Op:
+        queue = self.tenants[op.tenant]
+        op.arrival = self._arrival
+        self._arrival += 1
+        op.epoch = self._epoch
+        op.submitted_at = self.now()
+        queue.ops.append(op)
+        queue.stats.submitted += 1
+        self.stats.ops_submitted += 1
+        depth = self.queued
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        if self.dispatch_log is not None:
+            self.dispatch_log.append(("submit", op.tenant, op.seq, op.kind))
+        return op
+
+    @property
+    def queued(self) -> int:
+        """Ops currently waiting in tenant queues."""
+        return sum(len(q.ops) for q in self.tenants.values())
+
+    @property
+    def epoch(self) -> int:
+        """Barrier epoch: bumps on every physical flush."""
+        return self._epoch
+
+    @property
+    def pending_intents(self) -> int:
+        """Deferred flush intents awaiting the group commit."""
+        return len(self._intents)
+
+    def step(self) -> int:
+        """One scheduler round; returns the number of ops dispatched."""
+        dispatched = self.scheduler.step(self)
+        self.stats.rounds += 1
+        return dispatched
+
+    def drain(self, until: Op | None = None) -> None:
+        """Run scheduler rounds until ``until`` completes (or all ops do)."""
+        if until is not None and not until.done and self.queued == 1:
+            # Solo fast path: ``until`` is the only queued op, so every
+            # policy must dispatch exactly it next. Skip the scheduling
+            # round — this is the blocking facade's per-op hot path, and
+            # what keeps a single tenant's wall-clock cost close to
+            # driving the LD directly.
+            queue = self.tenants[until.tenant]
+            if queue.ops and queue.ops[0] is until and queue.bucket is None:
+                queue.ops.popleft()
+                if until.kind == KIND_READ_BLOCKS:
+                    until.pending = 0
+                self.dispatch_op(until)
+                return
+        while True:
+            if until is not None:
+                if until.done:
+                    return
+            elif not self.queued:
+                return
+            if self.step() == 0:
+                if until is not None and until.done:
+                    return
+                if not self.queued:
+                    if until is None:
+                        return
+                    raise SchedulerStalledError(
+                        f"queues drained but {until!r} never completed"
+                    )
+                raise SchedulerStalledError(
+                    f"{self.scheduler.name} dispatched nothing with "
+                    f"{self.queued} ops queued"
+                )
+
+    def close(self) -> None:
+        """Drain every queue and commit any deferred flush intents."""
+        self.drain()
+        if self._intents:
+            self._commit(None, forced=True)
+
+    # ------------------------------------------------------------------
+    # Dispatch primitives (called by schedulers)
+    # ------------------------------------------------------------------
+
+    def rotation(self) -> list[str]:
+        """Tenant names in round-robin order, starting at the cursor."""
+        names = self._names
+        rr = self._rr % len(names) if names else 0
+        return names[rr:] + names[:rr]
+
+    def advance_rotation(self) -> None:
+        if self._names:
+            self._rr = (self._rr + 1) % len(self._names)
+
+    def dispatch_op(self, op: Op) -> None:
+        """Execute one op against the LD and complete it."""
+        tr = self.tracer
+        with tr.span(
+            "sched.dispatch", tenant=op.tenant, kind=op.kind
+        ) if tr else NULL_SPAN:
+            if op.kind == KIND_FLUSH:
+                self._dispatch_flush(op)
+            else:
+                self._execute(op)
+        self._complete(op)
+
+    def dispatch_reads(self, entries: list[tuple[Op, int, int]]) -> None:
+        """Execute an elevator-ordered read batch with one vectored call.
+
+        ``entries`` are ``(op, slot, bid)`` triples: a ``READ`` op
+        contributes one entry; a ``READ_BLOCKS`` op contributes one per
+        block (``slot`` indexes into its result list, which the scheduler
+        preallocated along with ``op.pending``).
+        """
+        if len(entries) == 1 and entries[0][0].kind == KIND_READ:
+            # Degenerate batch: take the scalar path so a solo tenant is
+            # call-for-call identical to driving the LD directly.
+            self.dispatch_op(entries[0][0])
+            return
+        tr = self.tracer
+        with tr.span(
+            "sched.read_batch", count=len(entries)
+        ) if tr else NULL_SPAN:
+            self._execute_read_batch(entries)
+        self.stats.read_batches += 1
+        self.stats.batched_reads += len(entries)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _execute(self, op: Op) -> None:
+        ld = self.ld
+        session = self.sessions[op.tenant]
+        set_tenant = self._set_tenant
+        if set_tenant is not None:
+            set_tenant(op.tenant)
+        if self._has_aru_slot:
+            # Re-attach the tenant's open ARU (if any) for this op only;
+            # the LD's ARU context is per-op, never ambient, so tenants'
+            # atomic units interleave without tagging each other's work.
+            ld._current_aru = session._aru
+        try:
+            kind = op.kind
+            if kind == KIND_WRITE:
+                ld.write(op.bid, op.data)
+            elif kind == KIND_READ:
+                op.result = ld.read(op.bid)
+            elif kind == KIND_READ_BLOCKS:
+                op.result = ld.read_blocks(list(op.bids))
+            else:  # KIND_CALL
+                op.result = getattr(ld, op.method)(*op.args, **(op.kwargs or {}))
+                if op.method == "begin_aru":
+                    session._aru = op.result
+                elif op.method in ("end_aru", "abort_aru"):
+                    session._aru = 0
+        except Exception as exc:
+            op.error = exc
+            if op.method in ("end_aru", "abort_aru"):
+                # The LD aborted/lost the ARU; don't keep re-attaching it.
+                session._aru = 0
+        finally:
+            if self._has_aru_slot:
+                ld._current_aru = 0
+            if set_tenant is not None:
+                set_tenant(None)
+
+    def _execute_read_batch(self, entries: list[tuple[Op, int, int]]) -> None:
+        ld = self.ld
+        set_tenant = self._set_tenant
+        tenants = {op.tenant for op, _slot, _bid in entries}
+        solo = next(iter(tenants)) if len(tenants) == 1 else None
+        if set_tenant is not None:
+            set_tenant(solo)
+        try:
+            datas = ld.read_blocks([bid for _op, _slot, bid in entries])
+        except Exception:
+            # One bad block poisons a vectored call; re-dispatch each op
+            # singly so errors stay attributed to the op that caused them.
+            if set_tenant is not None:
+                set_tenant(None)
+            self.stats.batch_fallbacks += 1
+            for op in dict.fromkeys(entry[0] for entry in entries):
+                self._execute_fallback_read(op)
+            return
+        finally:
+            if set_tenant is not None:
+                set_tenant(None)
+        counters = getattr(getattr(ld, "stats", None), "tenant_counters", None)
+        for (op, slot, _bid), data in zip(entries, datas):
+            if solo is None and counters is not None:
+                # Mixed batch ran untagged inside the LD; attribute the
+                # block counts here (cache hit/miss stays global).
+                t = counters(op.tenant)
+                t.blocks_read += 1
+                t.bytes_read += len(data)
+            if op.kind == KIND_READ:
+                op.result = data
+                self._complete(op)
+            else:
+                op.result[slot] = data
+                op.pending -= 1
+                if op.pending == 0:
+                    self._complete(op)
+
+    def _execute_fallback_read(self, op: Op) -> None:
+        if op.kind == KIND_READ_BLOCKS:
+            op.result = None  # rebuilt whole by the scalar vectored call
+        self._execute(op)
+        self._complete(op)
+
+    def _dispatch_flush(self, op: Op) -> None:
+        queue = self.tenants[op.tenant]
+        self._intents.append(op)
+        if op.force or len(self._intents) >= self.group_commit:
+            self._commit(op, forced=op.force)
+            op.result = True
+        else:
+            op.result = False
+            self.stats.flushes_deferred += 1
+            queue.stats.flushes_deferred += 1
+
+    def _commit(self, trigger: Op | None, *, forced: bool) -> None:
+        """One physical flush acknowledging every pending intent."""
+        intents = self._intents
+        tr = self.tracer
+        with tr.span(
+            "sched.group_commit",
+            intents=len(intents),
+            forced=forced,
+        ) if tr else NULL_SPAN:
+            if trigger is not None and trigger.method == "flush_list":
+                self.ld.flush_list(trigger.args[0])
+            else:
+                self.ld.flush()
+        self._epoch += 1
+        now = self.now()
+        for intent in intents:
+            stats = self.tenants[intent.tenant].stats
+            stats.acks += 1
+            latency = now - intent.submitted_at
+            stats.ack_latency_total += latency
+            if latency > stats.ack_latency_max:
+                stats.ack_latency_max = latency
+        self.stats.group_commits += 1
+        self.stats.intents_committed += len(intents)
+        if forced:
+            self.stats.forced_flushes += 1
+        if self.dispatch_log is not None:
+            self.dispatch_log.append(
+                ("commit", tuple((i.tenant, i.seq) for i in intents))
+            )
+        self._intents = []
+
+    def _complete(self, op: Op) -> None:
+        op.done = True
+        op.completed_at = self.now()
+        queue = self.tenants[op.tenant]
+        stats = queue.stats
+        stats.dispatched += 1
+        kind = op.kind
+        if kind == KIND_READ:
+            stats.reads += 1
+            if op.result is not None:
+                stats.bytes_read += len(op.result)
+            self.stats.reads_dispatched += 1
+        elif kind == KIND_READ_BLOCKS:
+            stats.reads += 1
+            if op.result is not None:
+                stats.bytes_read += sum(len(d) for d in op.result if d is not None)
+            self.stats.reads_dispatched += 1
+        elif kind == KIND_WRITE:
+            stats.writes += 1
+            stats.bytes_written += len(op.data)
+            self.stats.writes_dispatched += 1
+        elif kind == KIND_FLUSH:
+            stats.flushes += 1
+            self.stats.flushes_dispatched += 1
+        else:
+            stats.calls += 1
+            self.stats.calls_dispatched += 1
+        self.stats.ops_dispatched += 1
+        if self.dispatch_log is not None:
+            self.dispatch_log.append(("dispatch", op.tenant, op.seq, op.kind))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LDServer({len(self.tenants)} tenants, {self.queued} queued, "
+            f"scheduler={self.scheduler.name!r})"
+        )

@@ -1,0 +1,116 @@
+"""Scheduler counters: the ``sched.*`` metrics namespace.
+
+:class:`SchedStats` follows the same :class:`~repro.obs.metrics.Snapshot`
+protocol as ``LLDStats``/``DiskStats``, so a server registers under the
+``"sched"`` layer of a :class:`~repro.obs.MetricsRegistry` and its
+figures land in BENCH reports beside every other layer's.
+
+Per-tenant queueing figures live here (``TenantSchedStats``); per-tenant
+slices of the *LD-level* hot-path counters (blocks, cache hits) live in
+``LLDStats.tenants`` — the scheduler tells the LLD which tenant is on
+the wire via ``set_tenant`` and the LLD attributes its own counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+class TenantSchedStats:
+    """Queue-side counters for one tenant session."""
+
+    __slots__ = (
+        "submitted",
+        "dispatched",
+        "reads",
+        "writes",
+        "flushes",
+        "flushes_deferred",
+        "calls",
+        "bytes_read",
+        "bytes_written",
+        "rate_limited",
+        "acks",
+        "ack_latency_total",
+        "ack_latency_max",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.dispatched = 0
+        self.reads = 0
+        self.writes = 0
+        self.flushes = 0
+        self.flushes_deferred = 0
+        self.calls = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.rate_limited = 0
+        #: Flush intents made durable, and their submit->commit latency
+        #: (virtual seconds) — the per-tenant fsync ack figures.
+        self.acks = 0
+        self.ack_latency_total = 0.0
+        self.ack_latency_max = 0.0
+
+    def copy(self) -> "TenantSchedStats":
+        twin = TenantSchedStats()
+        for name in self.__slots__:
+            setattr(twin, name, getattr(self, name))
+        return twin
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+@dataclass
+class SchedStats:
+    """Server-wide scheduler counters (Snapshot protocol)."""
+
+    ops_submitted: int = 0
+    ops_dispatched: int = 0
+    reads_dispatched: int = 0
+    writes_dispatched: int = 0
+    calls_dispatched: int = 0
+    flushes_dispatched: int = 0
+
+    # Elevator / merge figures: how much cross-tenant read traffic was
+    # folded into vectored read_blocks submissions.
+    read_batches: int = 0
+    batched_reads: int = 0
+    elevator_batches: int = 0  # batches >1 entry that were LBA-sorted
+    batch_fallbacks: int = 0  # batches re-dispatched singly after an error
+
+    # Cross-tenant group commit.
+    group_commits: int = 0
+    flushes_deferred: int = 0
+    intents_committed: int = 0
+    forced_flushes: int = 0
+
+    # Fairness / QoS machinery.
+    rounds: int = 0
+    rate_limited: int = 0
+    rate_cap_overrides: int = 0
+    max_queue_depth: int = 0
+
+    tenants: dict = field(default_factory=dict)
+
+    def tenant(self, name: str) -> TenantSchedStats:
+        stats = self.tenants.get(name)
+        if stats is None:
+            stats = self.tenants[name] = TenantSchedStats()
+        return stats
+
+    def snapshot(self) -> "SchedStats":
+        copy = dataclasses.replace(self)
+        copy.tenants = {name: t.copy() for name, t in self.tenants.items()}
+        return copy
+
+    def as_dict(self) -> dict:
+        out = dataclasses.asdict(
+            dataclasses.replace(self, tenants={})
+        )
+        out["tenants"] = {
+            name: t.as_dict() for name, t in sorted(self.tenants.items())
+        }
+        return out

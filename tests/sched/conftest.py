@@ -1,0 +1,51 @@
+"""Shared helpers for scheduler tests: a small LLD behind an LDServer."""
+
+from repro.disk import SimulatedDisk, fast_test_disk
+from repro.ld.hints import LIST_HEAD
+from repro.lld import LLD
+from repro.sched import LDServer
+from repro.sim import VirtualClock
+
+from tests.lld.conftest import small_config
+
+
+def make_server(
+    scheduler=None,
+    *,
+    group_commit: int = 1,
+    record_dispatch: bool = False,
+    capacity_mb: int = 4,
+    **config_overrides,
+):
+    """A fresh LLD on a fresh disk, wrapped in an LDServer."""
+    disk = SimulatedDisk(fast_test_disk(capacity_mb=capacity_mb), VirtualClock())
+    lld = LLD(disk, small_config(**config_overrides))
+    lld.initialize()
+    server = LDServer(
+        lld,
+        scheduler,
+        group_commit=group_commit,
+        record_dispatch=record_dispatch,
+    )
+    return server, lld
+
+
+def reopen_after_crash(lld: LLD) -> LLD:
+    """Crash the LLD and recover a fresh instance on the same disk."""
+    lld.crash()
+    fresh = LLD(lld.disk, lld.config)
+    fresh.initialize()
+    return fresh
+
+
+def populate(session, n: int, *, size: int = 1024, tag: str = "blk"):
+    """A fresh list with ``n`` written blocks; returns ``(lid, bids)``."""
+    lid = session.new_list()
+    bids = []
+    pred = LIST_HEAD
+    for i in range(n):
+        bid = session.new_block(lid, pred)
+        session.write(bid, f"{tag}-{i:04d}:".encode().ljust(size, b"."))
+        bids.append(bid)
+        pred = bid
+    return lid, bids

@@ -1,0 +1,155 @@
+"""Property tests: dispatch is a program-order-preserving permutation.
+
+The scheduler contract, checked against randomly generated multi-tenant
+scripts on both shipped policies:
+
+* every submitted op is dispatched exactly once (a permutation);
+* each tenant's ops dispatch in submission order (program order);
+* a group commit never crosses a barrier epoch: when an intent batch
+  commits, every earlier op of every committed tenant has already been
+  dispatched.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.sched.conftest import make_server, populate
+
+KINDS = ("write", "read", "read_blocks", "flush", "flush_force", "meta")
+
+
+@st.composite
+def scripts(draw):
+    n_tenants = draw(st.integers(min_value=2, max_value=4))
+    per_tenant = [
+        draw(st.lists(st.sampled_from(KINDS), min_size=1, max_size=10))
+        for _ in range(n_tenants)
+    ]
+    # A submission interleaving: which tenant submits its next op.
+    order = []
+    remaining = [len(script) for script in per_tenant]
+    while any(remaining):
+        runnable = [i for i, left in enumerate(remaining) if left]
+        i = draw(st.sampled_from(runnable))
+        order.append(i)
+        remaining[i] -= 1
+    weights = [
+        draw(st.sampled_from([0.5, 1.0, 2.0, 4.0])) for _ in range(n_tenants)
+    ]
+    caps = [
+        draw(st.sampled_from([None, 8192.0])) for _ in range(n_tenants)
+    ]
+    scheduler = draw(st.sampled_from(["fifo", "qos"]))
+    group_commit = draw(st.integers(min_value=1, max_value=3))
+    return per_tenant, order, weights, caps, scheduler, group_commit
+
+
+def run_script(per_tenant, order, weights, caps, scheduler_name, group_commit):
+    from repro.bench import make_scheduler
+
+    server, _lld = make_server(
+        make_scheduler(scheduler_name),
+        group_commit=group_commit,
+        record_dispatch=True,
+    )
+    sessions = []
+    setup = []
+    for i, (weight, cap) in enumerate(zip(weights, caps)):
+        sess = server.open_session(
+            f"t{i}", weight=weight, rate_bytes_per_sec=cap
+        )
+        lid, bids = populate(sess, 3, size=512, tag=f"t{i}")
+        sessions.append((sess, lid, bids))
+        setup.append(sess._seq)  # seqs consumed by the blocking setup
+    mark = len(server.dispatch_log)
+    cursors = [0] * len(sessions)
+    submitted = []
+    for i in order:
+        sess, lid, bids = sessions[i]
+        kind = per_tenant[i][cursors[i]]
+        cursors[i] += 1
+        k = cursors[i]
+        if kind == "write":
+            submitted.append(sess.submit_write(bids[k % 3], b"w" * 1024))
+        elif kind == "read":
+            submitted.append(sess.submit_read(bids[k % 3]))
+        elif kind == "read_blocks":
+            submitted.append(sess.submit_read_blocks(bids[:2]))
+        elif kind == "flush":
+            submitted.append(sess.submit_flush(force=False))
+        elif kind == "flush_force":
+            submitted.append(sess.submit_flush(force=True))
+        else:
+            submitted.append(sess.submit_call("list_length", lid))
+    server.drain()
+    server.close()
+    return server, submitted, mark, setup
+
+
+@given(scripts())
+@settings(max_examples=40, deadline=None)
+def test_dispatch_invariants(script):
+    per_tenant, order, weights, caps, scheduler, group_commit = script
+    server, submitted, mark, _setup = run_script(
+        per_tenant, order, weights, caps, scheduler, group_commit
+    )
+    events = server.dispatch_log[mark:]
+    submits = [(e[1], e[2]) for e in events if e[0] == "submit"]
+    dispatches = [(e[1], e[2]) for e in events if e[0] == "dispatch"]
+
+    # Permutation: every submitted op dispatched exactly once.
+    assert Counter(dispatches) == Counter(submits)
+    assert all(op.done for op in submitted)
+    assert all(op.error is None for op in submitted)
+
+    # Program order: per-tenant dispatch seqs strictly increase.
+    per_tenant_seqs: dict[str, list[int]] = {}
+    for tenant, seq in dispatches:
+        per_tenant_seqs.setdefault(tenant, []).append(seq)
+    for seqs in per_tenant_seqs.values():
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    # Barrier epochs: at each commit, every earlier op of every committed
+    # tenant has already been dispatched.
+    phase_seqs: dict[str, set[int]] = {}
+    for tenant, seq in submits:
+        phase_seqs.setdefault(tenant, set()).add(seq)
+    dispatched_so_far: dict[str, set[int]] = {}
+    for event in events:
+        if event[0] == "dispatch":
+            dispatched_so_far.setdefault(event[1], set()).add(event[2])
+        elif event[0] == "commit":
+            for tenant, seq in event[1]:
+                earlier = {s for s in phase_seqs.get(tenant, ()) if s < seq}
+                missing = earlier - dispatched_so_far.get(tenant, set())
+                assert not missing, (
+                    f"commit of {tenant}/{seq} crossed undispatched "
+                    f"ops {sorted(missing)}"
+                )
+
+    # Accounting closes: nothing queued, nothing pending.
+    assert server.queued == 0
+    assert server.pending_intents == 0
+    assert server.stats.ops_submitted == server.stats.ops_dispatched
+
+
+@given(scripts())
+@settings(max_examples=15, deadline=None)
+def test_results_are_independent_of_policy(script):
+    """Both policies drain any script to the same per-op results."""
+    per_tenant, order, weights, caps, _scheduler, group_commit = script
+    outcomes = []
+    for name in ("fifo", "qos"):
+        _server, submitted, _mark, _setup = run_script(
+            per_tenant, order, weights, caps, name, group_commit
+        )
+        outcomes.append(
+            [
+                op.result if op.kind != "flush" else None
+                for op in submitted
+            ]
+        )
+    assert outcomes[0] == outcomes[1]
