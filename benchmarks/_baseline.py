@@ -1,0 +1,69 @@
+"""Shared committed-baseline loading for the CI regression gates.
+
+Every ``check_*_regression.py`` gate compares a fresh BENCH report
+against the committed one, and every gate wants the same skip policy: a
+missing, unreadable, schema-incompatible, or figure-less *committed*
+baseline is not a regression — the comparison is skipped with a clear
+message and exit 0, and only the fresh report's own acceptance figures
+are enforced. (A bad *fresh* report still fails: it was produced by the
+very CI run being judged.)
+
+This module is that policy, once. Gates call::
+
+    report = load_committed_baseline(path, require=my_figure_check)
+
+and turn :class:`BaselineUnusable` into their SKIP + exit 0 path.
+``require`` receives the parsed report and returns a human-readable
+reason string when the report lacks the figures the gate compares
+(``None`` when usable); the reason is folded into the exception message.
+
+Runs both as part of the ``benchmarks`` package (unit tests) and from the
+scripts' own directory (``python benchmarks/check_cpu_regression.py``),
+hence no package-relative imports here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+#: Report schema the gates understand; reports carrying a different
+#: ``schema_version`` cannot be compared. Reports without the key predate
+#: versioning and use the version-1 shape.
+SCHEMA_VERSION = 1
+
+
+class BaselineUnusable(Exception):
+    """The committed baseline cannot participate in the comparison."""
+
+
+def load_committed_baseline(
+    path: str,
+    *,
+    schema_version: int = SCHEMA_VERSION,
+    require: Callable[[dict], str | None] | None = None,
+) -> dict:
+    """The committed report, or :class:`BaselineUnusable` explaining why."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except FileNotFoundError:
+        raise BaselineUnusable(f"committed baseline {path!r} does not exist")
+    except (OSError, ValueError) as exc:
+        raise BaselineUnusable(f"committed baseline {path!r} is unreadable: {exc}")
+    if not isinstance(report, dict):
+        raise BaselineUnusable(
+            f"committed baseline {path!r} is not a report object "
+            f"(got {type(report).__name__})"
+        )
+    version = report.get("schema_version", 1)
+    if version != schema_version:
+        raise BaselineUnusable(
+            f"committed baseline {path!r} has schema_version {version!r}, "
+            f"this checker understands {schema_version}"
+        )
+    if require is not None:
+        reason = require(report)
+        if reason:
+            raise BaselineUnusable(f"committed baseline {path!r} {reason}")
+    return report

@@ -29,16 +29,12 @@ from __future__ import annotations
 import json
 import sys
 
+try:
+    from benchmarks._baseline import BaselineUnusable, load_committed_baseline
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from _baseline import BaselineUnusable, load_committed_baseline
+
 SLACK = 1.25
-
-#: Report schema this checker understands; reports carrying a different
-#: ``schema_version`` cannot be compared. Reports without the key predate
-#: versioning and use the version-1 shape.
-SCHEMA_VERSION = 1
-
-
-class BaselineUnusable(Exception):
-    """The committed baseline cannot participate in the comparison."""
 
 
 def normalized_write_cost(report: dict) -> float:
@@ -49,32 +45,11 @@ def normalized_write_cost(report: dict) -> float:
     return 1.0 / speedup
 
 
-def load_committed_baseline(path: str) -> dict:
-    """The committed report, or :class:`BaselineUnusable` explaining why."""
-    try:
-        with open(path, encoding="utf-8") as handle:
-            report = json.load(handle)
-    except FileNotFoundError:
-        raise BaselineUnusable(f"committed baseline {path!r} does not exist")
-    except (OSError, ValueError) as exc:
-        raise BaselineUnusable(f"committed baseline {path!r} is unreadable: {exc}")
-    if not isinstance(report, dict):
-        raise BaselineUnusable(
-            f"committed baseline {path!r} is not a report object "
-            f"(got {type(report).__name__})"
-        )
-    version = report.get("schema_version", 1)
-    if version != SCHEMA_VERSION:
-        raise BaselineUnusable(
-            f"committed baseline {path!r} has schema_version {version!r}, "
-            f"this checker understands {SCHEMA_VERSION}"
-        )
+def _require_write_speedup(report: dict) -> str | None:
     speedup = report.get("speedup")
     if not isinstance(speedup, dict) or not speedup.get("write"):
-        raise BaselineUnusable(
-            f"committed baseline {path!r} carries no write speedup figure"
-        )
-    return report
+        return "carries no write speedup figure"
+    return None
 
 
 def main(argv: list[str]) -> int:
@@ -82,7 +57,7 @@ def main(argv: list[str]) -> int:
         print(__doc__)
         return 2
     try:
-        committed = load_committed_baseline(argv[1])
+        committed = load_committed_baseline(argv[1], require=_require_write_speedup)
     except BaselineUnusable as exc:
         print(f"SKIP: {exc}")
         print("SKIP: no comparable committed baseline; regression gate not run")

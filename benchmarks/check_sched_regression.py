@@ -32,40 +32,19 @@ from __future__ import annotations
 import json
 import sys
 
+try:
+    from benchmarks._baseline import BaselineUnusable, load_committed_baseline
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from _baseline import BaselineUnusable, load_committed_baseline
+
 SLACK = 1.25
 WALL_RATIO_MAX = 2.0
 
-SCHEMA_VERSION = 1
 
-
-class BaselineUnusable(Exception):
-    """The committed baseline cannot participate in the comparison."""
-
-
-def load_committed_baseline(path: str) -> dict:
-    try:
-        with open(path, encoding="utf-8") as handle:
-            report = json.load(handle)
-    except FileNotFoundError:
-        raise BaselineUnusable(f"committed baseline {path!r} does not exist")
-    except (OSError, ValueError) as exc:
-        raise BaselineUnusable(f"committed baseline {path!r} is unreadable: {exc}")
-    if not isinstance(report, dict):
-        raise BaselineUnusable(
-            f"committed baseline {path!r} is not a report object "
-            f"(got {type(report).__name__})"
-        )
-    version = report.get("schema_version", 1)
-    if version != SCHEMA_VERSION:
-        raise BaselineUnusable(
-            f"committed baseline {path!r} has schema_version {version!r}, "
-            f"this checker understands {SCHEMA_VERSION}"
-        )
+def _require_qos_figure(report: dict) -> str | None:
     if not report.get("qos_vs_fifo_throughput_x"):
-        raise BaselineUnusable(
-            f"committed baseline {path!r} carries no qos-vs-fifo figure"
-        )
-    return report
+        return "carries no qos-vs-fifo figure"
+    return None
 
 
 def check_fresh(fresh: dict) -> list[str]:
@@ -130,7 +109,7 @@ def main(argv: list[str]) -> int:
     )
 
     try:
-        committed = load_committed_baseline(argv[1])
+        committed = load_committed_baseline(argv[1], require=_require_qos_figure)
     except BaselineUnusable as exc:
         print(f"SKIP: {exc}")
         print("SKIP: no comparable committed baseline; baseline gate not run")

@@ -1,0 +1,147 @@
+"""CI gate: volume-layer scaling and RAID-5 parity figures must hold.
+
+Usage::
+
+    python benchmarks/check_volume_regression.py COMMITTED.json FRESH.json
+
+Re-checks the fresh ``BENCH_volume_scaling.json`` acceptance figures with
+readable failure messages, then compares against the committed baseline:
+
+* **scaling floor** — simulated sequential write AND read throughput at
+  N=4 must stay >= the report's own floor over N=1, and the 1-member
+  volume must stay figure-identical to the bare disk it wraps;
+* **parity floor** — RAID-5 full-stripe writes must beat the RMW
+  small-write path by the report's recorded floor at N=4, degraded reads
+  must actually reconstruct, and the rebuild-rate sweep must record a
+  real tradeoff (monotone progress, completing at the top rate);
+* **baseline comparison** — the N=4 write speedup and the full-stripe
+  vs RMW multiple must not fall more than ``SLACK`` below the committed
+  report's (simulated figures, so at equal scale they should match
+  exactly).
+
+A missing or schema-incompatible *committed* baseline is not a
+regression: that comparison is skipped with a message and exit 0. A bad
+*fresh* report still fails — it was produced by this very CI run.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+try:
+    from benchmarks._baseline import BaselineUnusable, load_committed_baseline
+except ImportError:  # run as a script: benchmarks/ itself is sys.path[0]
+    from _baseline import BaselineUnusable, load_committed_baseline
+
+SLACK = 1.25
+
+
+def _require_volume_figures(report: dict) -> str | None:
+    if not report.get("write_speedup_at_4"):
+        return "carries no N=4 write speedup figure"
+    return None
+
+
+def check_fresh(fresh: dict) -> list[str]:
+    """Failures in the fresh report's own acceptance figures."""
+    failures = []
+    floor = fresh.get("speedup_floor", 2.0)
+    for key in ("write_speedup_at_4", "read_speedup_at_4"):
+        speedup = fresh.get(key)
+        if not speedup or speedup < floor:
+            failures.append(f"{key} is {speedup!r}x (floor {floor}x)")
+    identity = fresh.get("identity") or {}
+    if not (identity.get("clock_identical") and identity.get("stats_identical")):
+        failures.append(
+            "1-member volume is no longer figure-identical to the bare disk"
+        )
+
+    raid5 = fresh.get("raid5")
+    if not raid5:
+        failures.append("fresh report carries no raid5 section")
+        return failures
+    parity_floor = raid5.get("full_vs_rmw_floor", 2.0)
+    full_x = (raid5.get("write_paths") or {}).get("full_vs_rmw_x")
+    if not full_x or full_x < parity_floor:
+        failures.append(
+            f"raid5 full-stripe vs RMW multiple is {full_x!r}x "
+            f"(floor {parity_floor}x)"
+        )
+    degraded = raid5.get("degraded_read") or {}
+    if not degraded.get("reconstructed_reads"):
+        failures.append("raid5 degraded-read arm performed no XOR reconstructions")
+    rebuild = raid5.get("rebuild") or []
+    progresses = [arm.get("rebuild_progress", 0.0) for arm in rebuild]
+    if len(progresses) < 2 or progresses != sorted(progresses):
+        failures.append(
+            f"raid5 rebuild sweep records no monotone rate/progress "
+            f"tradeoff: {progresses!r}"
+        )
+    elif progresses[-1] < 1.0:
+        failures.append(
+            f"raid5 rebuild did not complete under foreground load at the "
+            f"top rate (progress {progresses[-1]!r})"
+        )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[2], encoding="utf-8") as handle:
+        fresh = json.load(handle)
+
+    failures = check_fresh(fresh)
+    raid5 = fresh.get("raid5") or {}
+    fresh_full_x = (raid5.get("write_paths") or {}).get("full_vs_rmw_x") or 0.0
+    print(
+        f"scaling at N=4: write {fresh.get('write_speedup_at_4', 0) or 0:.2f}x, "
+        f"read {fresh.get('read_speedup_at_4', 0) or 0:.2f}x "
+        f"(floor {fresh.get('speedup_floor', 2.0)}x)"
+    )
+    print(
+        f"raid5 full-stripe vs RMW: {fresh_full_x:.2f}x "
+        f"(floor {raid5.get('full_vs_rmw_floor', 2.0)}x)"
+    )
+
+    try:
+        committed = load_committed_baseline(argv[1], require=_require_volume_figures)
+    except BaselineUnusable as exc:
+        print(f"SKIP: {exc}")
+        print("SKIP: no comparable committed baseline; baseline gate not run")
+    else:
+        comparisons = [
+            ("N=4 write speedup", committed.get("write_speedup_at_4"),
+             fresh.get("write_speedup_at_4") or 0.0),
+            ("raid5 full-vs-RMW multiple",
+             ((committed.get("raid5") or {}).get("write_paths") or {}).get(
+                 "full_vs_rmw_x"
+             ),
+             fresh_full_x),
+        ]
+        for label, committed_x, fresh_x in comparisons:
+            if not committed_x:
+                print(f"SKIP: committed baseline carries no {label}")
+                continue
+            print(
+                f"{label}: committed {committed_x:.2f}x, fresh {fresh_x:.2f}x "
+                f"(allowed >= {committed_x / SLACK:.2f}x)"
+            )
+            if fresh_x * SLACK < committed_x:
+                failures.append(
+                    f"{label} fell {(1 - fresh_x / committed_x) * 100:.1f}% "
+                    f"below the committed baseline "
+                    f"(> {(SLACK - 1) * 100:.0f}% allowed)"
+                )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: volume scaling and parity figures within thresholds")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

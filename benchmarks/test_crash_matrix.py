@@ -26,8 +26,10 @@ from repro.crashsim import (
     MirrorRecording,
     MultiTenantOracleDriver,
     OracleDriver,
+    ParityRecording,
     RecordingDisk,
     explore_degraded_mirror,
+    explore_degraded_parity,
     run_matrix_workload,
     run_multitenant_matrix_workload,
 )
@@ -198,6 +200,116 @@ def test_degraded_mirror_matrix(benchmark):
         assert report.states_by_kind.get("torn", 0) > 0
         assert report.states_by_kind.get("reorder", 0) > 0
         assert report.violations == [], (survivor, report.violations[:3])
+
+
+# ----------------------------------------------------------------------
+# Degraded RAID-5: epoch-aligned crash cuts, resync, then lose a member
+# ----------------------------------------------------------------------
+
+PARITY_WORKLOAD = dict(n_small=8, n_overwrites=3, generations=2, n_fill=8)
+
+PARITY_N = 4
+PARITY_CHUNK_SECTORS = 128
+
+#: Rotation means every member holds parity for some rows, so two fail
+#: indices already exercise both data-chunk and parity-chunk loss while
+#: keeping the arm inside the CI smoke budget.
+PARITY_FAIL_INDICES = (0, 2)
+
+MIN_PARITY_STATES = 250
+
+
+def run_parity():
+    members = [
+        SimulatedDisk(fast_test_disk(capacity_mb=8), VirtualClock())
+        for _ in range(PARITY_N)
+    ]
+    volume = Volume(
+        members,
+        VirtualClock(),
+        layout="raid5",
+        chunk_sectors=PARITY_CHUNK_SECTORS,
+    )
+    recording = ParityRecording(volume)
+    lld = LLD(volume, LLDConfig(**CONFIG))
+    lld.initialize()
+    driver = OracleDriver(lld, recording)
+    run_matrix_workload(driver, **PARITY_WORKLOAD)
+    reports = {
+        fail: explore_degraded_parity(
+            recording,
+            lld.config,
+            driver.oracle,
+            fail=fail,
+            subset_samples_per_epoch=6,
+        )
+        for fail in PARITY_FAIL_INDICES
+    }
+    return recording, driver, reports
+
+
+def test_degraded_parity_matrix(benchmark):
+    """Every epoch-aligned crash image, resynced, then one member failed.
+
+    Parity rows straddle members, so member journals are *not* isomorphic
+    and per-member crash points cannot be mixed freely (the RAID-5 write
+    hole). Crash states are therefore globally epoch-aligned cuts of the
+    volume's barrier history, plus torn/partial writes *within* the crash
+    epoch. Recovery matches md's policy: resync parity with all members
+    present, then fail a member and mount degraded — every state must
+    satisfy all four durability invariants via pure XOR reconstruction.
+    """
+    recording, driver, reports = benchmark.pedantic(run_parity, rounds=1, iterations=1)
+
+    rows = {
+        "journal writes (sum)": {"value": float(recording.position)},
+        "barrier epochs": {"value": float(recording.epoch_count)},
+        "ack points": {"value": float(len(driver.oracle.points))},
+    }
+    for fail, report in sorted(reports.items()):
+        rows[f"fail member {fail}: crash states"] = {
+            "value": float(report.states_total)
+        }
+        rows[f"fail member {fail}: violations"] = {
+            "value": float(len(report.violations))
+        }
+    emit(
+        render_table(
+            "Degraded RAID-5 matrix (N=4, resync then fail)",
+            ["value"],
+            rows,
+            note="crash → parity resync (md-style) → fail member → degraded mount",
+        )
+    )
+
+    # Merge into the crash-matrix report (stay robust if the other
+    # matrix tests did not run this session).
+    try:
+        payload = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = {"benchmark": "crash_matrix"}
+    payload["degraded_parity"] = {
+        "config": CONFIG,
+        "workload": PARITY_WORKLOAD,
+        "members": PARITY_N,
+        "layout": "raid5",
+        "chunk_sectors": PARITY_CHUNK_SECTORS,
+        "journal_writes_total": recording.position,
+        "barrier_epochs": recording.epoch_count,
+        "ack_points": len(driver.oracle.points),
+        "failed_members": {
+            str(fail): crash_matrix_summary(report)
+            for fail, report in sorted(reports.items())
+        },
+    }
+    emit(f"wrote {write_json_report(REPORT_PATH, payload)}")
+
+    for fail, report in reports.items():
+        assert report.states_total >= MIN_PARITY_STATES, (fail, report.states_total)
+        assert report.states_by_kind.get("cut", 0) > 0
+        assert report.states_by_kind.get("torn", 0) > 0
+        assert report.states_by_kind.get("subset", 0) > 0
+        assert report.violations == [], (fail, report.violations[:3])
 
 
 # ----------------------------------------------------------------------

@@ -28,7 +28,9 @@ at N=4 vs N=1, exact N=1 figure identity, and ≥2x faster recovery sweep
 at N=4.
 """
 
+import json
 import os
+import random
 from pathlib import Path
 
 from repro.bench import render_table, write_json_report
@@ -49,13 +51,20 @@ N_REQUESTS = 24
 
 SPEEDUP_FLOOR_AT_4 = 3.0
 
+PARITY_N = 4
+#: Full-stripe writes must beat the RMW small-write path by this much at
+#: N=4 (ISSUE 9 acceptance): RMW pays 2 reads + 2 writes per fragment
+#: where a full stripe pays N writes for N-1 chunks of payload.
+FULL_VS_RMW_FLOOR = 2.0
+REBUILD_RATES = (0.0, 0.5, 2.0, 8.0)
 
-def make_volume(n: int) -> Volume:
+
+def make_volume(n: int, layout: str = "stripe") -> Volume:
     members = [
         SimulatedDisk(hp_c3010(capacity_mb=MEMBER_MB), VirtualClock())
         for _ in range(n)
     ]
-    return Volume(members, VirtualClock(), chunk_sectors=CHUNK_SECTORS)
+    return Volume(members, VirtualClock(), layout=layout, chunk_sectors=CHUNK_SECTORS)
 
 
 def _percentile(values: list[float], q: float) -> float:
@@ -240,3 +249,211 @@ def test_volume_scaling(benchmark):
     emit(f"LLD recovery speedup at N=4: {recovery_speedup:.2f}x (floor 2.0x)")
     assert recovery_speedup >= 2.0
     assert lld[4]["write_seconds"] <= lld[1]["write_seconds"] * 1.10
+
+
+# ----------------------------------------------------------------------
+# RAID-5 parity arms: full-stripe vs RMW, degraded reads, rebuild knob
+# ----------------------------------------------------------------------
+
+
+def run_parity_write_arm() -> dict:
+    """Full-stripe writes vs RMW small writes through an N=4 RAID-5.
+
+    Both arms move the same number of payload bytes; the full-stripe arm
+    writes whole rows (parity is XOR of the payload, no pre-reads) while
+    the RMW arm writes one quarter-chunk per row (2 pre-reads + 2 writes
+    per fragment) — the classic RAID-5 small-write penalty, which the
+    gate pins at ≥2x.
+    """
+    row_sectors = (PARITY_N - 1) * CHUNK_SECTORS
+    n_rows = 24
+    payload = os.urandom(row_sectors * 512)
+    total_mb = n_rows * row_sectors * 512 / (1024 * 1024)
+
+    volume = make_volume(PARITY_N, "raid5")
+    t0 = volume.clock.now
+    for i in range(n_rows):
+        volume.write(i * row_sectors, payload)
+    volume.barrier()
+    full_seconds = volume.clock.now - t0
+    full_stats = volume.volume_stats.as_dict()
+
+    small_sectors = CHUNK_SECTORS // 4
+    n_small = n_rows * row_sectors // small_sectors
+    small_payload = os.urandom(small_sectors * 512)
+    volume = make_volume(PARITY_N, "raid5")
+    t0 = volume.clock.now
+    for i in range(n_small):
+        # One small fragment per stripe row: every write is an RMW.
+        volume.write((i % n_rows) * row_sectors + (i // n_rows) * small_sectors,
+                     small_payload)
+    volume.barrier()
+    rmw_seconds = volume.clock.now - t0
+    rmw_stats = volume.volume_stats.as_dict()
+    rmw_mb = n_small * small_sectors * 512 / (1024 * 1024)
+
+    return {
+        "n_disks": PARITY_N,
+        "full_stripe": {
+            "mb_per_s": total_mb / full_seconds,
+            "seconds": full_seconds,
+            "full_stripe_writes": full_stats["full_stripe_writes"],
+            "rmw_writes": full_stats["rmw_writes"],
+        },
+        "rmw": {
+            "mb_per_s": rmw_mb / rmw_seconds,
+            "seconds": rmw_seconds,
+            "full_stripe_writes": rmw_stats["full_stripe_writes"],
+            "rmw_writes": rmw_stats["rmw_writes"],
+        },
+        "full_vs_rmw_x": (total_mb / full_seconds) / (rmw_mb / rmw_seconds),
+    }
+
+
+def run_parity_degraded_arm() -> dict:
+    """Sequential reads healthy vs degraded (one member reconstructing)."""
+    volume = make_volume(PARITY_N, "raid5")
+    payload = os.urandom(REQUEST_SECTORS * 512)
+    n_requests = 16
+    for i in range(n_requests):
+        volume.write(i * REQUEST_SECTORS, payload)
+    volume.barrier()
+    total_mb = n_requests * REQUEST_SECTORS * 512 / (1024 * 1024)
+
+    t0 = volume.clock.now
+    for i in range(n_requests):
+        volume.read(i * REQUEST_SECTORS, REQUEST_SECTORS)
+    healthy_seconds = volume.clock.now - t0
+
+    volume.fail_member(1)
+    t0 = volume.clock.now
+    for i in range(n_requests):
+        volume.read(i * REQUEST_SECTORS, REQUEST_SECTORS)
+    degraded_seconds = volume.clock.now - t0
+    stats = volume.volume_stats.as_dict()
+
+    return {
+        "healthy_mb_per_s": total_mb / healthy_seconds,
+        "degraded_mb_per_s": total_mb / degraded_seconds,
+        "degraded_slowdown_x": degraded_seconds / healthy_seconds,
+        "reconstructed_reads": stats["reconstructed_reads"],
+    }
+
+
+def run_rebuild_arm(rate: float) -> dict:
+    """A fixed foreground read workload while rebuilding at ``rate``.
+
+    The knob trades rebuild progress for foreground latency: every
+    foreground request first donates ``rate`` stripe-row reconstructions
+    to the scanner, which compete for the same spindles.
+    """
+    rng = random.Random(17)
+    volume = make_volume(PARITY_N, "raid5")
+    payload = os.urandom(REQUEST_SECTORS * 512)
+    n_extents = 16
+    for i in range(n_extents):
+        volume.write(i * REQUEST_SECTORS, payload)
+    volume.barrier()
+
+    volume.fail_member(2)
+    volume.replace_member(2)
+    volume.rebuild_rate = rate
+    n_foreground = 120
+    t0 = volume.clock.now
+    for _ in range(n_foreground):
+        i = rng.randrange(n_extents)
+        volume.read(i * REQUEST_SECTORS, REQUEST_SECTORS)
+    foreground_seconds = volume.clock.now - t0
+    stats = volume.volume_stats.as_dict()
+
+    return {
+        "rebuild_rate": rate,
+        "foreground_reads": n_foreground,
+        "foreground_seconds": foreground_seconds,
+        "read_p50_ms": stats["read_latency_p50"] * 1000,
+        "read_p99_ms": stats["read_latency_p99"] * 1000,
+        "rebuild_progress": stats["rebuild_progress"],
+        "rebuild_rows_done": stats["rebuild_rows_done"],
+    }
+
+
+def run_parity():
+    write_arm = run_parity_write_arm()
+    degraded = run_parity_degraded_arm()
+    rebuild = [run_rebuild_arm(rate) for rate in REBUILD_RATES]
+    return write_arm, degraded, rebuild
+
+
+def test_volume_parity(benchmark):
+    write_arm, degraded, rebuild = benchmark.pedantic(run_parity, rounds=1, iterations=1)
+
+    emit(
+        render_table(
+            "RAID-5 write paths (N=4, 128 KB chunks)",
+            ["MB/s", "full-stripe", "RMW"],
+            {
+                "full-stripe rows": {
+                    "MB/s": write_arm["full_stripe"]["mb_per_s"],
+                    "full-stripe": float(write_arm["full_stripe"]["full_stripe_writes"]),
+                    "RMW": float(write_arm["full_stripe"]["rmw_writes"]),
+                },
+                "small writes": {
+                    "MB/s": write_arm["rmw"]["mb_per_s"],
+                    "full-stripe": float(write_arm["rmw"]["full_stripe_writes"]),
+                    "RMW": float(write_arm["rmw"]["rmw_writes"]),
+                },
+            },
+            note="the RAID-5 small-write penalty: 2 pre-reads + 2 writes per fragment",
+        )
+    )
+    emit(
+        render_table(
+            "RAID-5 rebuild-rate vs foreground latency (N=4)",
+            ["p50 read (ms)", "p99 read (ms)", "progress"],
+            {
+                f"rate={arm['rebuild_rate']}": {
+                    "p50 read (ms)": arm["read_p50_ms"],
+                    "p99 read (ms)": arm["read_p99_ms"],
+                    "progress": arm["rebuild_progress"],
+                }
+                for arm in rebuild
+            },
+            note="rows reconstructed per foreground request; scanner competes for spindles",
+        )
+    )
+
+    # Merge into the scaling report (test_volume_scaling writes first in
+    # file order; stay robust if it did not run this session).
+    try:
+        payload = json.loads(REPORT_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        payload = {"benchmark": "volume_scaling"}
+    payload["raid5"] = {
+        "n_disks": PARITY_N,
+        "chunk_sectors": CHUNK_SECTORS,
+        "write_paths": write_arm,
+        "degraded_read": degraded,
+        "rebuild": rebuild,
+        "full_vs_rmw_floor": FULL_VS_RMW_FLOOR,
+    }
+    emit(f"wrote {write_json_report(REPORT_PATH, payload)}")
+    emit(
+        f"full-stripe vs RMW: {write_arm['full_vs_rmw_x']:.2f}x "
+        f"(floor {FULL_VS_RMW_FLOOR}x); degraded read slowdown "
+        f"{degraded['degraded_slowdown_x']:.2f}x"
+    )
+
+    # Acceptance (ISSUE 9): full-stripe ≥2x the RMW small-write path.
+    assert write_arm["full_vs_rmw_x"] >= FULL_VS_RMW_FLOOR
+    assert write_arm["full_stripe"]["rmw_writes"] == 0
+    assert write_arm["rmw"]["full_stripe_writes"] == 0
+    # Degraded reads reconstruct (and cost more than healthy ones).
+    assert degraded["reconstructed_reads"] > 0
+    assert degraded["degraded_slowdown_x"] > 1.0
+    # The rebuild knob is a real tradeoff: more progress and higher
+    # foreground p99 as the rate rises.
+    progresses = [arm["rebuild_progress"] for arm in rebuild]
+    assert progresses == sorted(progresses)
+    assert progresses[0] == 0.0  # rate 0: paused scanner
+    assert progresses[-1] > progresses[1]
+    assert rebuild[-1]["read_p99_ms"] > rebuild[0]["read_p99_ms"]

@@ -19,7 +19,7 @@ from repro.fs.minix import make_minix, make_minix_lld
 from repro.lld import LLD, LLDConfig
 from repro.sched import FIFOScheduler, LDServer, QoSElevatorScheduler
 from repro.sim import VirtualClock
-from repro.volume import Volume
+from repro.volume import PARITY_LAYOUTS, Volume
 
 KB = 1024
 MB = 1024 * KB
@@ -69,21 +69,35 @@ def fresh_volume(
     spec: BuildSpec,
     n_disks: int,
     *,
-    layout: str = "stripe",
+    layout: str | None = None,
+    level: str | None = None,
     chunk_sectors: int | None = None,
     segment_size: int | None = None,
 ) -> Volume:
     """A new N-spindle volume of HP C3010 members.
 
-    Striped volumes default to segment-granular chunks (one stripe chunk
-    == one LLD segment slot), so every slot maps wholly to one spindle and
+    ``level`` is an alias for ``layout`` (``fresh_volume(level="raid5")``
+    reads like the md tools); passing both raises. Striped and parity
+    volumes default to segment-granular chunks (one stripe chunk == one
+    LLD segment slot), so every slot maps wholly to one spindle and
     round-robin slot placement turns into round-robin spindle placement.
-    Members are sized so total capacity matches the single-disk testbed:
-    the N=1 arm is the same partition as :func:`fresh_disk`.
+    Members are sized so total *data* capacity matches the single-disk
+    testbed: the N=1 stripe arm is the same partition as
+    :func:`fresh_disk`, and a parity volume sizes members by the N-1 data
+    chunks per stripe row.
     """
+    if layout is not None and level is not None:
+        raise ValueError("pass layout= or level=, not both")
+    layout = layout if layout is not None else (level if level is not None else "stripe")
     if chunk_sectors is None:
         chunk_sectors = (segment_size or spec.segment_size) // 512
-    member_mb = max(8, spec.partition_mb // (n_disks if layout == "stripe" else 1))
+    if layout == "stripe":
+        data_members = n_disks
+    elif layout in PARITY_LAYOUTS:
+        data_members = n_disks - 1
+    else:
+        data_members = 1
+    member_mb = max(8, spec.partition_mb // data_members)
     members = [
         SimulatedDisk(hp_c3010(capacity_mb=member_mb), VirtualClock())
         for _ in range(n_disks)

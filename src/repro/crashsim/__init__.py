@@ -29,8 +29,13 @@ from repro.crashsim.oracle import (
 from repro.crashsim.recording import BarrierEvent, RecordingDisk, WriteEvent
 from repro.crashsim.volume import (
     MirrorRecording,
+    ParityRecording,
+    VolumeCrashState,
     degraded_mirror_volume,
+    enumerate_parity_crash_states,
     explore_degraded_mirror,
+    explore_degraded_parity,
+    materialize_parity_crash_state,
 )
 
 __all__ = [
@@ -44,12 +49,17 @@ __all__ = [
     "MultiTenantOracleDriver",
     "OracleDriver",
     "OraclePoint",
+    "ParityRecording",
     "RecordingDisk",
     "Violation",
+    "VolumeCrashState",
     "WriteEvent",
     "client_view",
     "degraded_mirror_volume",
+    "enumerate_parity_crash_states",
     "explore_degraded_mirror",
+    "explore_degraded_parity",
+    "materialize_parity_crash_state",
     "run_matrix_workload",
     "run_multitenant_matrix_workload",
 ]

@@ -1,8 +1,8 @@
-"""Per-disk crash recording and degraded-mirror exploration.
+"""Per-disk crash recording and degraded-volume exploration.
 
 A multi-spindle volume fails in ways a single disk cannot: one member can
 crash at a different journal point than another, or drop out entirely. This
-module extends the crash-state machinery to mirrored volumes:
+module extends the crash-state machinery to mirrored and parity volumes:
 
 * :class:`MirrorRecording` wraps **each member** of a mirrored
   :class:`~repro.volume.Volume` in its own
@@ -20,6 +20,26 @@ module extends the crash-state machinery to mirrored volumes:
   a mirrored volume must pass the full four-invariant check with any
   single survivor.
 
+* :class:`ParityRecording` + :func:`explore_degraded_parity` do the same
+  for RAID-4/5. Parity changes the crash model fundamentally: member
+  journals are *not* isomorphic (each member sees different bytes), and a
+  row's consistency is **entangled across members** — a crash that lands
+  a row's data write without its parity write (or vice versa) leaves a
+  row whose XOR no longer reconstructs the missing chunk. So crash states
+  are enumerated as **globally epoch-aligned cuts**: the volume forwards
+  every barrier to every member in one call, which makes the per-member
+  positions at each global barrier a consistent vector; a crash lands on
+  one of those vectors, plus per-member subsets/torn writes drawn from
+  the single in-flight epoch. Recovery then mirrors what a real array
+  (Linux md) does after an unclean shutdown: **resync parity** while all
+  members are present (:meth:`~repro.volume.Volume.resync_parity`),
+  *then* lose a member and recover LLD degraded — reconstruction serves
+  the lost member's chunks, and the durability oracle must still hold.
+  Without the resync the same exploration demonstrates the RAID-5 write
+  hole (``tests/volume/test_parity.py`` pins both sides). A member that
+  failed *before* the crash — the true write hole — is out of scope
+  here, as it is for md without a journal device.
+
 The *stale* member case (a member that stopped receiving writes early but
 is still spinning) is the same set of images: a stale member is exactly a
 crash state of its journal. A real array must detect staleness before
@@ -30,13 +50,20 @@ member is marked failed and recovery proceeds from the survivor.
 
 from __future__ import annotations
 
-from repro.crashsim.explorer import CrashStateEnumerator, ExplorationReport
+import random
+from dataclasses import dataclass
+
+from repro.crashsim.explorer import (
+    CrashStateEnumerator,
+    ExplorationReport,
+    Plan,
+)
 from repro.crashsim.oracle import DurabilityOracle, LLDCrashChecker
 from repro.crashsim.recording import RecordingDisk
 from repro.disk.disk import SimulatedDisk
 from repro.lld.config import LLDConfig
 from repro.sim.clock import VirtualClock
-from repro.volume import Volume
+from repro.volume import PARITY_LAYOUTS, Volume
 
 
 class MirrorRecording:
@@ -145,3 +172,272 @@ def explore_degraded_mirror(
         return checker(degraded_mirror_volume(disk, n_members, survivor), state)
 
     return enumerator.explore(check)
+
+
+# ----------------------------------------------------------------------
+# Parity volumes: globally epoch-aligned crash states + degraded recovery
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VolumeCrashState:
+    """One crash state of a multi-member volume: a plan per member.
+
+    Duck-types the fields :class:`~repro.crashsim.oracle.LLDCrashChecker`
+    reads from a single-disk :class:`~repro.crashsim.explorer.CrashState`
+    (``state_id``, ``kind``, ``covered_seq``, ``detail``).
+
+    ``covered_seq`` lives in the *summed* coordinate system of
+    :attr:`ParityRecording.position`: every acknowledgement lands at a
+    global barrier, where the sum of member positions is well defined and
+    monotone, so the oracle's ``seq <= covered_seq`` comparisons carry
+    over unchanged.
+    """
+
+    state_id: int
+    kind: str  # "cut" | "torn" | "subset"
+    covered_seq: int
+    plans: tuple[Plan, ...]
+    detail: str = ""
+
+
+class ParityRecording:
+    """One :class:`RecordingDisk` per member of a RAID-4/5 volume.
+
+    Installs the wrappers in place like :class:`MirrorRecording`, and
+    additionally journals the **global barrier vector**: the tuple of
+    per-member journal positions after each volume-level barrier. Parity
+    journals are not isomorphic (every member sees different bytes), so
+    those vectors are the only consistent cuts a crash can land on — the
+    volume forwards one ``barrier()`` call to all members, modelling a
+    cache-flush broadcast.
+
+    ``position`` — the oracle's clock — is the *sum* of member positions:
+    at every global barrier (hence at every acknowledgement) it is well
+    defined and strictly monotone in the barrier order.
+    """
+
+    def __init__(self, volume: Volume) -> None:
+        if volume.layout not in PARITY_LAYOUTS:
+            raise ValueError(
+                f"parity recording targets raid4/raid5, got {volume.layout!r}"
+            )
+        if volume.degraded:
+            raise ValueError("cannot start recording on a degraded volume")
+        self.volume = volume
+        self.members: list[RecordingDisk] = []
+        for i, disk in enumerate(volume.disks):
+            recording = RecordingDisk(disk)
+            volume.disks[i] = recording
+            self.members.append(recording)
+        #: Per-member journal positions after each volume barrier.
+        self.epoch_positions: list[tuple[int, ...]] = []
+        original_barrier = volume.barrier
+
+        def journalling_barrier(label: str = "barrier") -> None:
+            original_barrier(label)
+            vector = tuple(m.position for m in self.members)
+            if not self.epoch_positions or self.epoch_positions[-1] != vector:
+                self.epoch_positions.append(vector)
+
+        volume.barrier = journalling_barrier  # type: ignore[method-assign]
+
+    @property
+    def position(self) -> int:
+        """Sum of member journal positions (the oracle's clock)."""
+        return sum(m.position for m in self.members)
+
+    @property
+    def epoch_count(self) -> int:
+        return len(self.epoch_positions)
+
+    def __repr__(self) -> str:
+        return (
+            f"ParityRecording({len(self.members)} members, "
+            f"{self.position} writes total, {self.epoch_count} epochs)"
+        )
+
+
+def enumerate_parity_crash_states(
+    recording: ParityRecording,
+    *,
+    subset_samples_per_epoch: int = 10,
+    max_states: int = 100_000,
+    seed: int = 0,
+) -> list[VolumeCrashState]:
+    """All sampled crash states of a recorded parity-volume run.
+
+    Three kinds, mirroring the single-disk enumerator under the global
+    alignment constraint:
+
+    * **cut** — the crash hit between epochs: every member holds exactly
+      its journal prefix at one global barrier vector (including the
+      empty vector and, when writes trail the last barrier, the full
+      journals).
+    * **torn** — on top of a cut, exactly one in-flight multi-sector
+      write of the next epoch left a sector-aligned proper prefix.
+    * **subset** — on top of a cut, each member applied a program-order
+      subset of its next-epoch writes: deterministic drop-one states for
+      every write, plus seeded random per-member subset combinations.
+      These are the write-hole states — a row's data landing without its
+      parity or vice versa.
+    """
+    members = recording.members
+    n = len(members)
+    zero = tuple(0 for _ in members)
+    final = tuple(m.position for m in members)
+    boundaries = [zero] + [v for v in recording.epoch_positions if v != zero]
+    if boundaries[-1] != final:
+        boundaries.append(final)
+
+    rng = random.Random(seed)
+    states: list[VolumeCrashState] = []
+    seen: set[tuple[Plan, ...]] = set()
+
+    full_plans: list[list[tuple[int, int]]] = [
+        [(e.seq, e.nsectors) for e in m.events] for m in members
+    ]
+
+    def add(kind: str, covered: int, plans: tuple[Plan, ...], detail: str) -> bool:
+        if len(states) >= max_states:
+            return False
+        if plans in seen:
+            return True
+        seen.add(plans)
+        states.append(
+            VolumeCrashState(
+                state_id=len(states),
+                kind=kind,
+                covered_seq=covered,
+                plans=plans,
+                detail=detail,
+            )
+        )
+        return True
+
+    for k, vector in enumerate(boundaries):
+        base_plans = tuple(tuple(full_plans[m][: vector[m]]) for m in range(n))
+        covered = sum(vector)
+        if not add("cut", covered, base_plans, detail=f"epoch@{k}"):
+            return states
+        if k + 1 >= len(boundaries):
+            break
+        nxt = boundaries[k + 1]
+        epoch_writes = [list(range(vector[m], nxt[m])) for m in range(n)]
+
+        # Torn: one in-flight multi-sector write tears, everything else
+        # of the epoch is absent (the most conservative torn picture).
+        for m in range(n):
+            for seq in epoch_writes[m]:
+                nsectors = full_plans[m][seq][1]
+                if nsectors < 2:
+                    continue
+                for applied in (1, nsectors - 1):
+                    plans = list(base_plans)
+                    plans[m] = base_plans[m] + ((seq, applied),)
+                    if not add(
+                        "torn",
+                        covered,
+                        tuple(plans),
+                        detail=f"epoch@{k}:m{m}w{seq}+{applied}/{nsectors}",
+                    ):
+                        return states
+
+        # Subsets: drop exactly one write of the epoch (the classic
+        # lost-write / write-hole shape), then seeded random per-member
+        # subset combinations.
+        width = sum(len(w) for w in epoch_writes)
+        if width == 0:
+            continue
+        for m in range(n):
+            for seq in epoch_writes[m]:
+                plans = list(
+                    tuple(full_plans[i][: nxt[i]]) for i in range(n)
+                )
+                plans[m] = base_plans[m] + tuple(
+                    full_plans[m][s] for s in epoch_writes[m] if s != seq
+                )
+                if not add(
+                    "subset",
+                    covered,
+                    tuple(plans),
+                    detail=f"epoch@{k}:m{m}-w{seq}",
+                ):
+                    return states
+        for _ in range(subset_samples_per_epoch):
+            plans = []
+            picked = []
+            for m in range(n):
+                chosen = tuple(s for s in epoch_writes[m] if rng.random() < 0.5)
+                plans.append(
+                    base_plans[m] + tuple(full_plans[m][s] for s in chosen)
+                )
+                picked.append(len(chosen))
+            if not add(
+                "subset",
+                covered,
+                tuple(plans),
+                detail=f"epoch@{k}:rand{picked}",
+            ):
+                return states
+    return states
+
+
+def materialize_parity_crash_state(
+    recording: ParityRecording, state: VolumeCrashState
+) -> Volume:
+    """Build the crash image as a fresh volume (fresh clocks, zero stats)."""
+    source = recording.volume
+    disks: list[SimulatedDisk] = []
+    for member, plan in zip(recording.members, state.plans):
+        disk = SimulatedDisk(member.geometry, VirtualClock())
+        for lba, data in member.base_image().items():
+            disk.install(lba, data)
+        sector = disk.geometry.sector_size
+        for seq, applied in plan:
+            event = member.events[seq]
+            disk.install(event.lba, event.data[: applied * sector])
+        disks.append(disk)
+    return Volume(
+        disks,
+        VirtualClock(),
+        layout=source.layout,
+        chunk_sectors=source.chunk_sectors,
+    )
+
+
+def explore_degraded_parity(
+    recording: ParityRecording,
+    config: LLDConfig,
+    oracle: DurabilityOracle,
+    *,
+    fail: int = 0,
+    resync: bool = True,
+    **enumerator_kwargs,
+) -> ExplorationReport:
+    """Explore every sampled crash state, recovered with a member failed.
+
+    The md-style unclean-shutdown sequence per state: materialize the
+    globally-aligned crash image, **resync parity** with all members
+    present, *then* drop member ``fail`` and recover LLD through the
+    degraded volume — every chunk of the failed member is served by XOR
+    reconstruction, and the four-invariant durability check must still
+    pass. ``resync=False`` skips the resync step and exhibits the RAID-5
+    write hole: inconsistent rows reconstruct garbage for data the oracle
+    already acknowledged.
+    """
+    checker = LLDCrashChecker(config, oracle)
+    report = ExplorationReport()
+    for state in enumerate_parity_crash_states(recording, **enumerator_kwargs):
+        volume = materialize_parity_crash_state(recording, state)
+        if resync:
+            volume.resync_parity()
+        volume.fail_member(fail)
+        outcome = checker(volume, state)
+        report.states_total += 1
+        report.states_by_kind[state.kind] = (
+            report.states_by_kind.get(state.kind, 0) + 1
+        )
+        report.violations.extend(outcome.violations)
+        report.recovery_seconds.append(outcome.recovery_seconds)
+    return report

@@ -1351,13 +1351,22 @@ class LLD(LogicalDisk):
             # the preferred spindle, keep the sequential-layout bias.
             n = self.layout.spindle_count
             cur_spindle = spindles[current]
+            parity = self.layout.slot_parity_spindles
+            cur_parity = parity[current] if parity is not None else None
+
+            def spindle_distance(slot: int) -> int:
+                # On parity layouts the just-sealed slot's write also
+                # busies its parity-chunk member (rotating for RAID-5), so
+                # a candidate whose data lands there is as bad as staying
+                # on the current spindle: push it past every real ring
+                # distance.
+                if cur_parity is not None and spindles[slot] == cur_parity:
+                    return n
+                return (spindles[slot] - cur_spindle - 1) % n
+
             return min(
                 candidates,
-                key=lambda slot: (
-                    (spindles[slot] - cur_spindle - 1) % n,
-                    slot <= current,
-                    slot,
-                ),
+                key=lambda slot: (spindle_distance(slot), slot <= current, slot),
             )
         # Prefer the next slot after the current one for sequential layout.
         following = [slot for slot in candidates if slot > current]

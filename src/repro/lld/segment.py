@@ -189,8 +189,23 @@ class DiskLayout:
             self.slot_spindles: list[int] | None = [
                 spindle_of(self.slot_lba(seg)) for seg in range(self.segment_count)
             ]
+            # Parity layouts busy a second member per write — the slot's
+            # parity chunk holder (rotating for RAID-5). Exact under the
+            # same chunk == slot size arrangement as slot_spindles.
+            parity_spindle_of = getattr(disk, "parity_spindle_of", None)
+            if parity_spindle_of is not None:
+                spindles = [
+                    parity_spindle_of(self.slot_lba(seg))
+                    for seg in range(self.segment_count)
+                ]
+                self.slot_parity_spindles: list[int] | None = (
+                    spindles if any(s is not None for s in spindles) else None
+                )
+            else:
+                self.slot_parity_spindles = None
         else:
             self.slot_spindles = None
+            self.slot_parity_spindles = None
 
     def slot_lba(self, segment: int) -> int:
         """First LBA of segment slot ``segment``."""

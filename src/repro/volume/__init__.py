@@ -1,12 +1,14 @@
 """Multi-disk volumes behind the single-disk request surface.
 
 See :mod:`repro.volume.volume` for the overlap model and
-:mod:`repro.volume.mapping` for the RAID-0 address math.
+:mod:`repro.volume.mapping` for the RAID-0/4/5 address math.
 """
 
-from repro.volume.mapping import StripeMap, SubRequest
+from repro.volume.mapping import ParityStripeMap, RowFragment, StripeMap, SubRequest
 from repro.volume.volume import (
     DEFAULT_CHUNK_SECTORS,
+    LAYOUTS,
+    PARITY_LAYOUTS,
     Volume,
     VolumeDegradedError,
     VolumeError,
@@ -16,6 +18,10 @@ from repro.volume.volume import (
 
 __all__ = [
     "DEFAULT_CHUNK_SECTORS",
+    "LAYOUTS",
+    "PARITY_LAYOUTS",
+    "ParityStripeMap",
+    "RowFragment",
     "StripeMap",
     "SubRequest",
     "Volume",

@@ -15,6 +15,14 @@ clock model overlap them at ~max-over-disks cost instead of the sum.
 Because each merged member request covers logically *interleaved* chunks,
 every :class:`SubRequest` carries a scatter list mapping its buffer back
 to offsets of the volume-level request.
+
+:class:`ParityStripeMap` extends the math to RAID-4 and RAID-5: each
+*stripe row* (one chunk position across every member) dedicates one chunk
+to parity — fixed on the last member for RAID-4, rotating left-symmetric
+for RAID-5 — and the data→member placement skips the parity chunk, so a
+volume of N members exposes N-1 chunks of capacity per row. The map stays
+exact and invertible over the data chunks; parity chunks have no logical
+address (``to_logical`` raises on them).
 """
 
 from __future__ import annotations
@@ -127,3 +135,189 @@ class StripeMap:
             SubRequest(disk=disk, plba=start, nsectors=length, pieces=tuple(pieces))
             for disk, (start, length, pieces) in sorted(building.items())
         ]
+
+
+@dataclass(frozen=True)
+class RowFragment:
+    """One data-chunk portion of a stripe row touched by a request.
+
+    ``disk`` holds the chunk, ``within`` is the sector offset inside the
+    chunk where the fragment starts, ``nsectors`` its length, and
+    ``logical_off`` the fragment's sector offset inside the volume-level
+    request — the parity write paths slice the request buffer with it.
+    """
+
+    disk: int
+    within: int
+    nsectors: int
+    logical_off: int
+
+
+class ParityStripeMap(StripeMap):
+    """RAID-4/5 address map: N members, N-1 data chunks per stripe row.
+
+    Chunk ``c`` of the volume lives in row ``c // (N-1)`` at data position
+    ``c % (N-1)``; the row's parity chunk occupies one member and the data
+    positions fill the remaining members *after* it, in ring order:
+    ``disk = (parity + 1 + position) % N``. With a fixed parity member
+    (``rotate=False``, RAID-4) this degenerates to data on members
+    ``0..N-2`` and parity on ``N-1``; with rotation (``rotate=True``,
+    RAID-5 left-symmetric) the parity member walks backwards one member
+    per row, so parity traffic — the bottleneck of RAID-4's dedicated
+    spindle — spreads across all members.
+
+    Member LBAs are unchanged from RAID-0 (``row * chunk + within``), so
+    every chunk of one row sits at the same physical position on its
+    member — reconstruction reads the *same* extent from every survivor.
+    """
+
+    def __init__(
+        self,
+        n_disks: int,
+        chunk_sectors: int,
+        member_sectors: int,
+        *,
+        rotate: bool = True,
+    ) -> None:
+        if n_disks < 3:
+            raise ValueError(
+                f"parity layouts need at least 3 members, got {n_disks}"
+            )
+        super().__init__(n_disks, chunk_sectors, member_sectors)
+        self.rotate = rotate
+        self.data_per_row = n_disks - 1
+        #: Stripe rows (== chunk positions per member).
+        self.rows = self.chunks_per_disk
+        self.total_sectors = self.data_per_row * self.rows * chunk_sectors
+
+    # -- row geometry ---------------------------------------------------
+
+    def parity_disk(self, row: int) -> int:
+        """Member holding ``row``'s parity chunk."""
+        n = self.n_disks
+        return (n - 1) - (row % n) if self.rotate else n - 1
+
+    def data_disk(self, row: int, position: int) -> int:
+        """Member holding data position ``position`` (0..N-2) of ``row``."""
+        return (self.parity_disk(row) + 1 + position) % self.n_disks
+
+    def data_disks(self, row: int) -> list[int]:
+        """The row's data members, in data-position order."""
+        return [self.data_disk(row, d) for d in range(self.data_per_row)]
+
+    def row_lba(self, row: int) -> int:
+        """First member LBA of ``row``'s chunks (same on every member)."""
+        return row * self.chunk_sectors
+
+    # -- the address map ------------------------------------------------
+
+    def to_physical(self, lba: int) -> tuple[int, int]:
+        if not 0 <= lba < self.total_sectors:
+            raise ValueError(f"LBA {lba} out of range [0, {self.total_sectors})")
+        chunk, within = divmod(lba, self.chunk_sectors)
+        row, position = divmod(chunk, self.data_per_row)
+        return self.data_disk(row, position), row * self.chunk_sectors + within
+
+    def to_logical(self, disk: int, plba: int) -> int:
+        if not 0 <= disk < self.n_disks:
+            raise ValueError(f"disk {disk} out of range [0, {self.n_disks})")
+        if not 0 <= plba < self.usable_per_disk:
+            raise ValueError(
+                f"member LBA {plba} out of range [0, {self.usable_per_disk})"
+            )
+        row, within = divmod(plba, self.chunk_sectors)
+        parity = self.parity_disk(row)
+        if disk == parity:
+            raise ValueError(
+                f"member {disk} LBA {plba} is row {row}'s parity chunk; "
+                "parity has no logical address"
+            )
+        position = (disk - parity - 1) % self.n_disks
+        return (row * self.data_per_row + position) * self.chunk_sectors + within
+
+    def split(self, lba: int, nsectors: int) -> list[SubRequest]:
+        """Split into contiguous member requests (data chunks only).
+
+        Unlike RAID-0, a sequential run *can* revisit a member at a
+        non-adjacent position: the member held the parity chunk of an
+        intermediate row, so its data chunks in rows ``r`` and ``r+2``
+        are separated by the parity chunk at row ``r+1``. Such revisits
+        open a second :class:`SubRequest` for the member instead of
+        merging.
+        """
+        if nsectors <= 0:
+            raise ValueError(f"sector count must be positive: {nsectors}")
+        if lba < 0 or lba + nsectors > self.total_sectors:
+            raise ValueError(
+                f"request [{lba}, {lba + nsectors}) outside volume of "
+                f"{self.total_sectors} sectors"
+            )
+        chunk_sectors = self.chunk_sectors
+        done: list[SubRequest] = []
+        building: dict[int, tuple[int, int, list[tuple[int, int, int]]]] = {}
+        pos = lba
+        remaining = nsectors
+        while remaining > 0:
+            disk, plba = self.to_physical(pos)
+            within = pos % chunk_sectors
+            take = min(remaining, chunk_sectors - within)
+            logical_off = pos - lba
+            current = building.get(disk)
+            if current is not None and current[0] + current[1] == plba:
+                start, length, pieces = current
+                pieces.append((length, logical_off, take))
+                building[disk] = (start, length + take, pieces)
+            else:
+                if current is not None:
+                    start, length, pieces = current
+                    done.append(
+                        SubRequest(
+                            disk=disk, plba=start, nsectors=length,
+                            pieces=tuple(pieces),
+                        )
+                    )
+                building[disk] = (plba, take, [(0, logical_off, take)])
+            pos += take
+            remaining -= take
+        for disk, (start, length, pieces) in building.items():
+            done.append(
+                SubRequest(disk=disk, plba=start, nsectors=length, pieces=tuple(pieces))
+            )
+        done.sort(key=lambda sub: (sub.disk, sub.plba))
+        return done
+
+    def split_rows(self, lba: int, nsectors: int) -> list[tuple[int, list[RowFragment]]]:
+        """Group ``[lba, lba + nsectors)`` by stripe row.
+
+        Returns ``(row, fragments)`` pairs in ascending row order; each
+        fragment is one data-chunk portion the request touches. The
+        parity write paths work row-at-a-time: a row whose fragments
+        cover all ``N-1`` data chunks completely takes the full-stripe
+        path, anything less takes read-modify-write.
+        """
+        if nsectors <= 0:
+            raise ValueError(f"sector count must be positive: {nsectors}")
+        if lba < 0 or lba + nsectors > self.total_sectors:
+            raise ValueError(
+                f"request [{lba}, {lba + nsectors}) outside volume of "
+                f"{self.total_sectors} sectors"
+            )
+        chunk_sectors = self.chunk_sectors
+        rows: dict[int, list[RowFragment]] = {}
+        pos = lba
+        remaining = nsectors
+        while remaining > 0:
+            chunk, within = divmod(pos, chunk_sectors)
+            row, position = divmod(chunk, self.data_per_row)
+            take = min(remaining, chunk_sectors - within)
+            rows.setdefault(row, []).append(
+                RowFragment(
+                    disk=self.data_disk(row, position),
+                    within=within,
+                    nsectors=take,
+                    logical_off=pos - lba,
+                )
+            )
+            pos += take
+            remaining -= take
+        return sorted(rows.items())
