@@ -22,6 +22,14 @@ attributes on un-instrumented hot objects (that would un-share their
 CPython instance dicts and slow every attribute access — a real
 regression this benchmark caught).
 
+A fourth **monitored** arm runs the full continuous-monitoring bundle
+(:class:`~repro.obs.Monitor`: series sampling, event log, health rules,
+one ``tick()`` per fsync) and is gated the same analytic way: measured
+per-unit costs (idle tick, firing sample+check, event emit) times exact
+unit counts, divided by workload CPU, must stay under 3% — with the same
+simulated-figure byte-identity requirement, plus "a clean run reports
+zero warn/critical findings".
+
 Results land in ``BENCH_obs_overhead.json``; a sample Chrome trace of
 one round (~60 fsyncs) lands in ``trace.json``.
 """
@@ -34,16 +42,20 @@ from pathlib import Path
 
 from repro.bench import render_table, write_json_report
 from repro.bench.builders import build_minix_lld
+from repro.bench.report import stack_registry
 from repro.obs import NULL_SPAN, Tracer, attach_tracer, export_chrome_trace
+from repro.obs.events import EventLog
+from repro.obs.health import Monitor
 from repro.sim import VirtualClock
 from benchmarks.conftest import emit
 
 REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs_overhead.json"
 TRACE_PATH = Path(__file__).resolve().parent.parent / "trace.json"
 
-MODES = ("none", "disabled", "enabled")
+MODES = ("none", "disabled", "enabled", "monitored")
 ROUNDS = 12
 FILE_BYTES = 1024
+MONITOR_INTERVAL = 0.5  # virtual seconds between monitoring samples (2 Hz)
 
 
 # ----------------------------------------------------------------------
@@ -173,21 +185,27 @@ def paired_enabled_ns(trials: int = 3):
 def build_stack(spec, mode: str):
     fs, lld = build_minix_lld(spec)
     tracer = None
-    if mode != "none":
+    monitor = None
+    if mode in ("disabled", "enabled"):
         tracer = Tracer(lld.disk.clock, enabled=(mode == "enabled"))
         attach_tracer(tracer, fs, lld)
-    return fs, lld, tracer
+    elif mode == "monitored":
+        registry = stack_registry(fs=fs, lld=lld)
+        monitor = Monitor(registry, lld.disk.clock, interval=MONITOR_INTERVAL)
+        monitor.attach(fs, lld)
+    return fs, lld, tracer, monitor
 
 
 def run_chunk(stack, round_no: int, count: int) -> float:
     """One round of the fsync workload; returns its CPU seconds.
 
     Each mode's stack replays the identical round, so per-round pairs are
-    directly comparable. Files are removed again after the timed region
-    (identical untimed work for every mode) to keep i-node and segment
-    pressure flat across rounds.
+    directly comparable (the ``monitor`` branch test is executed in every
+    mode; only the monitored stack has one to tick). Files are removed
+    again after the timed region (identical untimed work for every mode)
+    to keep i-node and segment pressure flat across rounds.
     """
-    fs, lld, _tracer = stack
+    fs, lld, _tracer, monitor = stack
     gc.collect()
     gc.disable()
     t0 = time.process_time()
@@ -196,12 +214,49 @@ def run_chunk(stack, round_no: int, count: int) -> float:
         fs.write(fd, bytes([i % 251 + 1]) * FILE_BYTES)
         fs.close(fd)
         fs.sync()
+        if monitor is not None:
+            monitor.tick()
     elapsed = time.process_time() - t0
     gc.enable()
     for i in range(count):
         fs.unlink(f"/r{round_no}f{i}")
     fs.sync()
     return elapsed
+
+
+def tick_idle_ns(monitor, iterations: int = 50_000, reps: int = 5) -> float:
+    """Cost of one *idle* monitor tick (clock inside the interval)."""
+    monitor.sample_now()  # pin the sample time at the current clock value
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            monitor.tick()
+        best = min(best, time.perf_counter() - t0)
+    return best / iterations * 1e9
+
+
+def sample_check_ns(monitor, iterations: int = 200, reps: int = 5) -> float:
+    """Cost of one *firing* tick: collect, record series, run every rule."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            monitor.sample_now()
+        best = min(best, time.perf_counter() - t0)
+    return best / iterations * 1e9
+
+
+def emit_ns(iterations: int = 100_000, reps: int = 5) -> float:
+    """Cost of one structured event emission into a bounded log."""
+    log = EventLog(VirtualClock(), capacity=1024)
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for i in range(iterations):
+            log.emit("obs.probe", severity="debug", slot=i)
+        best = min(best, time.perf_counter() - t0)
+    return best / iterations * 1e9
 
 
 def descendants(spans, root):
@@ -227,11 +282,15 @@ def test_obs_overhead(spec):
     # Attaching must not grow attributes on un-instrumented objects: a
     # new attribute would un-share the instance dict of the hottest
     # object in the simulation and tax every access on it.
-    fs_enabled, lld_enabled, tracer_enabled = stacks["enabled"]
+    fs_enabled, lld_enabled, tracer_enabled, _ = stacks["enabled"]
     assert not hasattr(fs_enabled, "tracer")
     assert fs_enabled.store.tracer is tracer_enabled
     assert lld_enabled.tracer is tracer_enabled
     assert lld_enabled.disk.tracer is tracer_enabled
+    fs_mon, lld_mon, _, monitor = stacks["monitored"]
+    assert not hasattr(fs_mon, "events")
+    assert not hasattr(fs_mon.store, "events")
+    assert lld_mon.events is monitor.events
 
     for mode in MODES:
         run_chunk(stacks[mode], 999, count)  # warmup round, discarded
@@ -240,9 +299,13 @@ def test_obs_overhead(spec):
     times = {mode: [] for mode in MODES}
     sample_spans = None
     guard_hits = None
+    fires_per_round = None
+    events_per_round = None
     for round_no in range(ROUNDS):
         # Balanced order: position-in-round bias cancels across rounds.
         order = MODES if round_no % 2 == 0 else tuple(reversed(MODES))
+        checks_before = monitor.checks
+        emitted_before = monitor.events.emitted
         for mode in order:
             times[mode].append(run_chunk(stacks[mode], round_no, count))
         if round_no == 0:
@@ -250,6 +313,11 @@ def test_obs_overhead(spec):
             # so this chunk's span count *is* the per-round guard count.
             sample_spans = list(tracer_enabled.spans)
             guard_hits = len(sample_spans)
+            # Same exact-count discipline for the monitoring arm: how
+            # many ticks fired (sampled + ran the rules) and how many
+            # events the stack emitted in one round.
+            fires_per_round = monitor.checks - checks_before
+            events_per_round = monitor.events.emitted - emitted_before
         tracer_enabled.clear()
 
     # The analytic bound: measured per-site cost delta x exact hit count.
@@ -260,8 +328,21 @@ def test_obs_overhead(spec):
     workload_cpu = statistics.median(times["none"])
     disabled_overhead = per_site_delta_ns * 1e-9 * guard_hits / workload_cpu
 
+    # Same analytic accounting for the enabled-monitoring arm: every
+    # fsync pays one tick test (idle cost — conservatively charged on
+    # firing ticks too), every firing tick pays a sample + rule check,
+    # and every emitted event pays one structured append.
+    idle_ns = tick_idle_ns(monitor)
+    fire_ns = sample_check_ns(monitor)
+    event_ns = emit_ns()
+    monitored_overhead = (
+        (idle_ns * count + fire_ns * fires_per_round + event_ns * events_per_round)
+        * 1e-9
+        / workload_cpu
+    )
+
     # End-to-end paired evidence (noise-dominated on shared machines,
-    # hence reported rather than asserted against the 2% line).
+    # hence reported rather than asserted against the 2%/3% lines).
     ratio = {
         mode: statistics.median(
             t / n for t, n in zip(times[mode], times["none"])
@@ -269,15 +350,22 @@ def test_obs_overhead(spec):
         for mode in MODES
     }
 
-    # Tracing observes the simulation; it must never perturb it.
-    base_fs, base_lld, _ = stacks["none"]
-    for mode in ("disabled", "enabled"):
-        fs, lld, tracer = stacks[mode]
+    # Observability observes the simulation; it must never perturb it.
+    base_fs, base_lld, _, _ = stacks["none"]
+    for mode in ("disabled", "enabled", "monitored"):
+        fs, lld, tracer, _mon = stacks[mode]
         assert lld.disk.clock.now == base_lld.disk.clock.now
         assert lld.disk.stats.as_dict() == base_lld.disk.stats.as_dict()
         assert lld.stats.as_dict() == base_lld.stats.as_dict()
         assert fs.store.stats.as_dict() == base_fs.store.stats.as_dict()
     assert not stacks["disabled"][2].spans
+
+    # A clean run must be clean: rules evaluated, zero warn/critical.
+    verdicts = monitor.check()
+    assert verdicts, "health rules produced no verdicts on a live stack"
+    assert not monitor.findings, [f.as_dict() for f in monitor.findings]
+    assert monitor.series.samples_taken > 0
+    assert fires_per_round > 0
 
     # One fsync -> a causally-linked span tree across all four layers.
     syncs = [s for s in sample_spans if s.name == "fs.sync"]
@@ -306,7 +394,7 @@ def test_obs_overhead(spec):
     }
     emit(
         render_table(
-            f"Tracing overhead — {count} fsyncs/round, {ROUNDS} rounds",
+            f"Observability overhead — {count} fsyncs/round, {ROUNDS} rounds",
             ["CPU median (ms)", "CPU min (ms)", "Paired ratio"],
             rows,
             note=(
@@ -314,7 +402,10 @@ def test_obs_overhead(spec):
                 f"disabled, {enabled_ns:.0f} ns enabled ({legacy_enabled_ns:.0f} "
                 f"ns before slots+freelist, paired in-run); "
                 f"{guard_hits} hits/round -> disabled path adds "
-                f"{disabled_overhead * 100:.3f}%"
+                f"{disabled_overhead * 100:.3f}%; monitoring: {idle_ns:.0f} ns "
+                f"idle tick x {count}, {fire_ns:.0f} ns firing tick x "
+                f"{fires_per_round}, {event_ns:.0f} ns emit x "
+                f"{events_per_round} -> adds {monitored_overhead * 100:.3f}%"
             ),
         )
     )
@@ -334,6 +425,18 @@ def test_obs_overhead(spec):
         "enabled_span_speedup": legacy_enabled_ns / enabled_ns,
         "guard_hits_per_round": guard_hits,
         "disabled_overhead_fraction": disabled_overhead,
+        "monitoring_site_ns": {
+            "tick_idle": idle_ns,
+            "sample_and_check": fire_ns,
+            "event_emit": event_ns,
+        },
+        "monitor_interval": MONITOR_INTERVAL,
+        "monitor_ticks_per_round": count,
+        "monitor_fires_per_round": fires_per_round,
+        "monitor_events_per_round": events_per_round,
+        "monitor_series_count": len(monitor.series.series),
+        "monitored_overhead_fraction": monitored_overhead,
+        "monitor_findings_clean": not monitor.findings,
         "end_to_end_median_ratio": ratio,
         "cpu_seconds_median": {
             mode: statistics.median(times[mode]) for mode in MODES
@@ -345,5 +448,7 @@ def test_obs_overhead(spec):
     }
     emit(f"wrote {write_json_report(REPORT_PATH, report)}")
 
-    # Acceptance: the disabled path adds < 2% to the write-path workload.
+    # Acceptance: the disabled path adds < 2% to the write-path workload,
+    # and the full monitoring bundle (series + events + health) < 3%.
     assert disabled_overhead < 0.02
+    assert monitored_overhead < 0.03

@@ -67,13 +67,6 @@ def make_volume(n: int, layout: str = "stripe") -> Volume:
     return Volume(members, VirtualClock(), layout=layout, chunk_sectors=CHUNK_SECTORS)
 
 
-def _percentile(values: list[float], q: float) -> float:
-    ranked = sorted(values)
-    if not ranked:
-        return 0.0
-    return ranked[max(0, min(len(ranked) - 1, round(q * (len(ranked) - 1))))]
-
-
 def run_raw_arm(n: int) -> dict:
     """Sequential 1 MB writes then reads through an N-spindle stripe."""
     payload = os.urandom(REQUEST_SECTORS * 512)
@@ -98,10 +91,8 @@ def run_raw_arm(n: int) -> dict:
         "read_seconds": read_seconds,
         "write_mb_per_s": total_mb / write_seconds,
         "read_mb_per_s": total_mb / read_seconds,
-        "write_latency_p50_ms": _percentile(volume.volume_stats.write_latencies, 0.50)
-        * 1000,
-        "write_latency_p99_ms": _percentile(volume.volume_stats.write_latencies, 0.99)
-        * 1000,
+        "write_latency_p50_ms": rollup["write_latency_p50"] * 1000,
+        "write_latency_p99_ms": rollup["write_latency_p99"] * 1000,
         "read_latency_p50_ms": rollup["read_latency_p50"] * 1000,
         "read_latency_p99_ms": rollup["read_latency_p99"] * 1000,
         "request_balance": rollup["request_balance"],

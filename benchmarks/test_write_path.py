@@ -36,10 +36,17 @@ FILE_BYTES = 1024  # one small file per fsync
 
 
 def run_fsync_workload(spec, delta: bool, flush_batch: int = 1):
-    """``count`` tiny file creates, each followed by ``sync``."""
+    """``count`` tiny file creates, each followed by ``sync``.
+
+    Returns the stack plus a *workload-only* metrics window: the registry
+    is collected before the first create and diffed after the final
+    barrier (``collect_delta``), so mkfs/mount setup I/O is excluded.
+    """
     fs, lld = build_minix_lld(
         spec, delta_partial_flush=delta, flush_batch=flush_batch
     )
+    registry = stack_registry(fs=fs, lld=lld)
+    before = registry.collect()
     count = spec.small_file_count(1000)
     t0 = lld.disk.clock.now
     for i in range(count):
@@ -49,7 +56,8 @@ def run_fsync_workload(spec, delta: bool, flush_batch: int = 1):
         fs.sync()
     fs.store.barrier()  # final durability point for batched runs
     elapsed = lld.disk.clock.now - t0
-    return fs, lld, count, elapsed
+    window = registry.collect_delta(before)
+    return fs, lld, count, elapsed, window
 
 
 def _mask_mtimes(block: bytes) -> bytes:
@@ -99,12 +107,13 @@ def run_comparison(spec):
     results = {}
     images = {}
     for label, delta in (("full image (paper)", False), ("delta flush", True)):
-        _fs, lld, count, elapsed = run_fsync_workload(spec, delta=delta)
+        _fs, lld, count, elapsed, window = run_fsync_workload(spec, delta=delta)
         results[label] = summarize(lld, elapsed)
         if delta:
-            # Registry view of the delta stack, captured before the crash
-            # below adds recovery I/O to the disk counters.
-            results["_metrics"] = stack_registry(fs=_fs, lld=lld).collect()
+            # Workload-only registry window over the delta stack (setup
+            # I/O diffed out, captured before the crash below adds
+            # recovery I/O to the disk counters).
+            results["_metrics"] = window
         images[label] = recovered_ld_image(lld)
     assert images["full image (paper)"] == images["delta flush"]
     results["_count"] = count
@@ -115,7 +124,7 @@ def run_comparison(spec):
 def run_group_commit_sweep(spec) -> list[dict]:
     sweep = []
     for batch in (1, 4, 16):
-        fs, lld, count, elapsed = run_fsync_workload(
+        fs, lld, count, elapsed, _window = run_fsync_workload(
             spec, delta=True, flush_batch=batch
         )
         entry = summarize(lld, elapsed)
@@ -177,8 +186,8 @@ def test_write_path(spec, benchmark):
             base["sim_time"] / delta["sim_time"] if delta["sim_time"] else None
         ),
         "recovered_state_identical": results["_recovered_identical"],
-        # Layer-prefixed registry collect() over the delta stack — the
-        # unified path all benchmark metrics now flow through.
+        # Layer-prefixed workload-only window (collect_delta) over the
+        # delta stack — the unified path all benchmark metrics flow through.
         "metrics": results["_metrics"],
     }
     emit(f"wrote {write_json_report(REPORT_PATH, report)}")

@@ -37,6 +37,16 @@ def stack_registry(fs=None, lld=None, recovery=None, server=None) -> MetricsRegi
             registry.register("volume", volume_stats)
         if lld.nvram is not None:
             registry.register("nvram", lld.nvram)
+        # Derived space gauges: what the free-segment health rule watches.
+        registry.register(
+            "space",
+            lambda: {
+                "free_segments": lld.free_segment_count(),
+                "segment_count": lld.layout.segment_count,
+                "min_free_segments": lld.config.min_free_segments,
+                "live_bytes": lld.state.live_bytes(),
+            },
+        )
         if recovery is None:
             recovery = lld.recovery_report
     if recovery is not None:

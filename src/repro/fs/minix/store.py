@@ -41,8 +41,14 @@ class StoreStats:
         return copy
 
     def as_dict(self) -> dict:
-        """Machine-readable form for benchmark JSON reports."""
-        return dataclasses.asdict(self)
+        """Machine-readable form for benchmark JSON reports.
+
+        Shallow field walk (not ``dataclasses.asdict``): the monitoring
+        sampler calls this on every firing tick.
+        """
+        out = {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        out["extra"] = dict(self.extra)
+        return out
 
 
 class BlockStore(abc.ABC):

@@ -98,6 +98,7 @@ class Cleaner:
         best_free = lld.free_segment_count()
         while lld.free_segment_count() < target:
             if guard <= 0 or stalled > lld.layout.segment_count:
+                self._note_starved(target)
                 raise OutOfSpaceError(
                     "cleaner cannot produce enough free segments "
                     f"(live bytes: {lld.state.live_bytes()})"
@@ -105,6 +106,7 @@ class Cleaner:
             guard -= 1
             victim = self.select_victim()
             if victim is None:
+                self._note_starved(target)
                 raise OutOfSpaceError("no cleanable segments available")
             self.clean_segment(victim)
             cleaned += 1
@@ -127,6 +129,20 @@ class Cleaner:
             cleaned += 1
         return cleaned
 
+    def _note_starved(self, target: int) -> None:
+        """Log the starvation the caller is about to raise for."""
+        lld = self.lld
+        ev = lld.events
+        if ev:
+            ev.emit(
+                "lld.cleaner_starved",
+                severity="error",
+                t=lld.disk.clock.now,
+                target=target,
+                free_segments=lld.free_segment_count(),
+                live_bytes=lld.state.live_bytes(),
+            )
+
     def clean_segment(self, slot: int) -> None:
         """Evacuate every live block and metadata tuple from ``slot``."""
         lld = self.lld
@@ -135,6 +151,15 @@ class Cleaner:
         tr = lld.tracer
         with tr.span("lld.cleaner_pass", slot=slot) if tr else NULL_SPAN:
             self._clean_segment(slot)
+        ev = lld.events
+        if ev:
+            ev.emit(
+                "lld.cleaner_pass",
+                severity="debug",
+                t=lld.disk.clock.now,
+                slot=slot,
+                free_segments=lld.free_segment_count(),
+            )
 
     def _clean_segment(self, slot: int) -> None:
         lld = self.lld

@@ -48,7 +48,7 @@ class RecoveryReport:
 
     def as_dict(self) -> dict:
         """Machine-readable form for benchmark JSON reports."""
-        return dataclasses.asdict(self)
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
 
     def __str__(self) -> str:
         return (
@@ -157,6 +157,17 @@ def run_recovery(lld: "LLD") -> RecoveryReport:
             sp.attrs["summaries_valid"] = report.summaries_valid
             sp.attrs["records_applied"] = report.records_applied
             sp.attrs["arus_discarded"] = report.arus_discarded
+    ev = lld.events
+    if ev:
+        ev.emit(
+            "lld.recovery_sweep",
+            t=lld.disk.clock.now,
+            segments_scanned=report.segments_scanned,
+            summaries_valid=report.summaries_valid,
+            records_applied=report.records_applied,
+            arus_discarded=report.arus_discarded,
+            simulated_seconds=report.simulated_seconds,
+        )
     return report
 
 

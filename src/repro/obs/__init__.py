@@ -1,8 +1,9 @@
-"""Observability: end-to-end tracing and a unified metrics registry.
+"""Observability: tracing, metrics, and the continuous-monitoring layer.
 
 The paper's evaluation attributes cost to *layers* — file management vs
 disk management vs raw I/O (Tables 3–6, Fig. 1). This package makes that
-attribution a first-class capability of the reproduction:
+attribution a first-class capability of the reproduction, and grows it
+into an always-on monitoring subsystem:
 
 * :mod:`repro.obs.trace` — spans with causality. A :class:`Tracer` hands
   out ``span(op, **attrs)`` context managers; each span is stamped with
@@ -12,19 +13,32 @@ attribution a first-class capability of the reproduction:
 * :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` that adopts the
   per-layer stats objects (``DiskStats``, ``LLDStats``, ``StoreStats``,
   ``NVRAM``, ``RecoveryReport``) behind one :class:`Snapshot` protocol
-  and merges them into a single layer-prefixed dict.
+  and merges them into a single layer-prefixed dict;
+  :meth:`~MetricsRegistry.collect_delta` diffs two collections.
+* :mod:`repro.obs.hist` — :class:`LatencyHistogram`, the bounded
+  log-bucketed sketch every latency series in the tree records into.
+* :mod:`repro.obs.series` — :class:`SeriesRecorder`, windowed
+  time-series rings sampled on the virtual clock.
+* :mod:`repro.obs.events` — :class:`EventLog`, the structured state-
+  change log (member failures, rebuilds, cleaner passes, checkpoints,
+  scheduler saturation), exported as JSONL beside ``trace.json``.
+* :mod:`repro.obs.health` — declarative health rules over series +
+  events producing ok/warn/critical :class:`Finding` verdicts, bundled
+  behind :class:`Monitor`.
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON and JSONL
   exporters plus loaders for round-tripping traces.
-* ``python -m repro.obs trace.json`` — a per-layer latency/ops text
-  dashboard rendered from an exported trace.
+* ``python -m repro.obs trace.json`` — per-layer latency/ops dashboard
+  from an exported trace; ``python -m repro.obs.top`` — the live/offline
+  ldtop monitoring dashboard.
 
-Tracing is **off by default** and zero-overhead when disabled: the
-instrumented choke points guard every span with ``if tracer`` (a plain
-attribute-load-and-truth-test; a detached tracer is ``None``, a disabled
-one is falsy), so the paper's benchmark figures are untouched unless a
-tracer is explicitly attached with :func:`attach_tracer`.
+Tracing and event emission are **off by default** and zero-overhead when
+disabled: every instrumented choke point guards with a plain attribute
+load and truth test (``if tracer`` / ``if events``), so the paper's
+benchmark figures are untouched unless :func:`attach_tracer` /
+:func:`attach_events` is called.
 """
 
+from repro.obs.events import EventLog, Event, export_events_jsonl, load_events_jsonl
 from repro.obs.export import (
     export_chrome_trace,
     export_jsonl,
@@ -32,46 +46,74 @@ from repro.obs.export import (
     load_jsonl,
     load_trace,
 )
-from repro.obs.metrics import MetricsRegistry, Snapshot
+from repro.obs.health import (
+    Finding,
+    HealthContext,
+    HealthMonitor,
+    HealthRule,
+    Monitor,
+    default_rules,
+)
+from repro.obs.hist import LatencyHistogram
+from repro.obs.metrics import MetricsRegistry, Snapshot, diff_payloads
+from repro.obs.series import (
+    Series,
+    SeriesRecorder,
+    export_series_jsonl,
+    load_series_jsonl,
+)
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "NULL_SPAN",
+    "Event",
+    "EventLog",
+    "Finding",
+    "HealthContext",
+    "HealthMonitor",
+    "HealthRule",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "Monitor",
+    "Series",
+    "SeriesRecorder",
+    "Snapshot",
     "Span",
     "Tracer",
-    "MetricsRegistry",
-    "Snapshot",
+    "attach_events",
     "attach_tracer",
+    "default_rules",
+    "diff_payloads",
     "export_chrome_trace",
+    "export_events_jsonl",
     "export_jsonl",
+    "export_series_jsonl",
     "load_chrome_trace",
+    "load_events_jsonl",
     "load_jsonl",
+    "load_series_jsonl",
     "load_trace",
 ]
 
-#: Attributes along which :func:`attach_tracer` descends the stack.
+#: Attributes along which the attach helpers descend the stack.
 #: ``server`` descends a tenant session into its LD server, so attaching
 #: at any tenant instruments the shared scheduler and the stack below it.
 _CHILD_ATTRS = ("store", "ld", "disk", "inner", "server")
 
 
-def attach_tracer(tracer: Tracer | None, *components) -> Tracer | None:
-    """Attach ``tracer`` to ``components`` and every layer beneath them.
+def _attach(attr: str, value, components) -> None:
+    """Set ``attr`` on every instrumented object reachable from ``components``.
 
     Duck-typed: starting from whatever is passed (a ``MinixFS``, an
-    ``LDStore``, an ``LLD``, a ``SimulatedDisk``, a ``RecordingDisk``
-    wrapper, ...) the helper follows the containment attributes
-    (``store``, ``ld``, ``disk``, ``inner``) and sets ``.tracer`` on each
-    instrumented object found, so one call instruments the whole FS → LD
-    → LLD → disk stack. Passing ``None`` detaches (restores the
-    zero-overhead path).
-
-    Only objects that already declare a ``tracer`` attribute are touched:
-    they are the ones whose choke points read it. Growing a *new*
-    attribute on an un-instrumented hot object (a ``MinixFS``, say) would
-    un-share its CPython key-sharing instance dict and slow every
-    attribute access on it — measurably, on exactly the objects this
-    package promises not to perturb.
+    ``LDStore``, an ``LLD``, a ``SimulatedDisk``, a ``Volume``, an
+    ``LDServer``, ...) the walker follows the containment attributes
+    (``store``, ``ld``, ``disk``, ``inner``, ``server``) plus a volume's
+    member-disk list, and assigns only on objects that already declare
+    the attribute — they are the ones whose choke points read it.
+    Growing a *new* attribute on an un-instrumented hot object (a
+    ``MinixFS``, say) would un-share its CPython key-sharing instance
+    dict and slow every attribute access on it — measurably, on exactly
+    the objects this package promises not to perturb.
     """
     seen: set[int] = set()
     stack = [c for c in components if c is not None]
@@ -80,10 +122,10 @@ def attach_tracer(tracer: Tracer | None, *components) -> Tracer | None:
         if id(obj) in seen:
             continue
         seen.add(id(obj))
-        if hasattr(obj, "tracer"):
-            obj.tracer = tracer
-        for attr in _CHILD_ATTRS:
-            child = obj.__dict__.get(attr) if hasattr(obj, "__dict__") else None
+        if hasattr(obj, attr):
+            setattr(obj, attr, value)
+        for child_attr in _CHILD_ATTRS:
+            child = obj.__dict__.get(child_attr) if hasattr(obj, "__dict__") else None
             if child is not None:
                 stack.append(child)
         # A volume fans out to member disks; instrument every spindle so
@@ -91,4 +133,26 @@ def attach_tracer(tracer: Tracer | None, *components) -> Tracer | None:
         members = obj.__dict__.get("disks") if hasattr(obj, "__dict__") else None
         if isinstance(members, (list, tuple)):
             stack.extend(m for m in members if m is not None)
+
+
+def attach_tracer(tracer: Tracer | None, *components) -> Tracer | None:
+    """Attach ``tracer`` to ``components`` and every layer beneath them.
+
+    One call instruments the whole FS → LD → LLD → disk stack; passing
+    ``None`` detaches (restores the zero-overhead path). See
+    :func:`_attach` for the traversal rules.
+    """
+    _attach("tracer", tracer, components)
     return tracer
+
+
+def attach_events(log: EventLog | None, *components) -> EventLog | None:
+    """Attach an :class:`EventLog` to ``components`` and the stack below.
+
+    The event-emitting choke points (volume membership changes, cleaner
+    passes, checkpoints, scheduler saturation, ...) start recording into
+    ``log``; passing ``None`` detaches. Same traversal and same
+    only-where-declared discipline as :func:`attach_tracer`.
+    """
+    _attach("events", log, components)
+    return log

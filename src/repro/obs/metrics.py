@@ -13,6 +13,41 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+from repro.obs.hist import LatencyHistogram, is_histogram_dict
+
+
+def diff_payloads(before: dict, after: dict) -> dict:
+    """``after`` minus ``before``, recursively.
+
+    Numeric values subtract (missing-in-before counts as zero); nested
+    dicts recurse; histogram-shaped dicts (``LatencyHistogram.as_dict``
+    output) are rebuilt and merge-subtracted so the delta's quantiles
+    describe only the window, not the cumulative run. Non-numeric values
+    (labels, layouts) pass through from ``after``. Keys only present in
+    ``before`` are dropped — a window can't contain less than nothing.
+    """
+    out: dict = {}
+    for key, value in after.items():
+        prior = before.get(key)
+        if is_histogram_dict(value):
+            if is_histogram_dict(prior):
+                value = (
+                    LatencyHistogram.from_dict(value)
+                    .subtract(LatencyHistogram.from_dict(prior))
+                    .as_dict()
+                )
+            out[key] = value
+        elif isinstance(value, bool):
+            out[key] = value
+        elif isinstance(value, (int, float)):
+            base = prior if isinstance(prior, (int, float)) and not isinstance(prior, bool) else 0
+            out[key] = value - base
+        elif isinstance(value, dict):
+            out[key] = diff_payloads(prior if isinstance(prior, dict) else {}, value)
+        else:
+            out[key] = value
+    return out
+
 
 @runtime_checkable
 class Snapshot(Protocol):
@@ -93,3 +128,17 @@ class MetricsRegistry:
             for key, value in payload.items():
                 out[f"{layer}.{key}"] = value
         return out
+
+    def collect_delta(self, before: dict) -> dict:
+        """Current ``collect()`` minus an earlier one: the window view.
+
+        ``before`` is a payload a previous :meth:`collect` returned.
+        Counters subtract, histograms merge-subtract (see
+        :func:`diff_payloads`), so benchmarks capture workload-only
+        metrics without hand-rolled before/after bookkeeping::
+
+            before = registry.collect()
+            run_workload()
+            window = registry.collect_delta(before)
+        """
+        return diff_payloads(before, self.collect())

@@ -126,6 +126,15 @@ class QoSElevatorScheduler(Scheduler):
                 key=lambda q: q.ops[0].arrival,
             )
             server.stats.rate_cap_overrides += 1
+            ev = server.events
+            if ev:
+                ev.emit(
+                    "sched.rate_cap_saturated",
+                    severity="warn",
+                    t=now,
+                    tenant=queue.name,
+                    overrides=server.stats.rate_cap_overrides,
+                )
             self._grant(queue)
             inline += self._serve(server, queue, reads, ignore_bucket=True)
         if reads:

@@ -80,6 +80,7 @@ class LDServer:
         self.group_commit = group_commit
         self.stats = SchedStats()
         self.tracer = tracer if tracer is not None else getattr(ld, "tracer", None)
+        self.events = getattr(ld, "events", None)
         self.tenants: dict[str, TenantQueue] = {}
         self.sessions: dict[str, object] = {}
         self.dispatch_log: list[tuple] | None = [] if record_dispatch else None
@@ -151,6 +152,15 @@ class LDServer:
         depth = self.queued
         if depth > self.stats.max_queue_depth:
             self.stats.max_queue_depth = depth
+            ev = self.events
+            if ev:
+                ev.emit(
+                    "sched.queue_high_water",
+                    severity="debug",
+                    t=self.now(),
+                    depth=depth,
+                    tenant=op.tenant,
+                )
         if self.dispatch_log is not None:
             self.dispatch_log.append(("submit", op.tenant, op.seq, op.kind))
         return op
@@ -379,6 +389,7 @@ class LDServer:
             stats.acks += 1
             latency = now - intent.submitted_at
             stats.ack_latency_total += latency
+            stats.ack_latency_hist.record(latency)
             if latency > stats.ack_latency_max:
                 stats.ack_latency_max = latency
         self.stats.group_commits += 1

@@ -16,6 +16,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from repro.obs.hist import LatencyHistogram
+
 
 class TenantSchedStats:
     """Queue-side counters for one tenant session."""
@@ -34,6 +36,7 @@ class TenantSchedStats:
         "acks",
         "ack_latency_total",
         "ack_latency_max",
+        "ack_latency_hist",
     )
 
     def __init__(self) -> None:
@@ -52,15 +55,27 @@ class TenantSchedStats:
         self.acks = 0
         self.ack_latency_total = 0.0
         self.ack_latency_max = 0.0
+        #: Bounded sketch of the same latencies: the p50/p99 source.
+        self.ack_latency_hist = LatencyHistogram()
 
     def copy(self) -> "TenantSchedStats":
         twin = TenantSchedStats()
         for name in self.__slots__:
-            setattr(twin, name, getattr(self, name))
+            value = getattr(self, name)
+            if isinstance(value, LatencyHistogram):
+                value = value.copy()
+            setattr(twin, name, value)
         return twin
 
     def as_dict(self) -> dict:
-        return {name: getattr(self, name) for name in self.__slots__}
+        out = {}
+        for name in self.__slots__:
+            value = getattr(self, name)
+            out[name] = value.as_dict() if isinstance(value, LatencyHistogram) else value
+        hist = self.ack_latency_hist
+        out["ack_latency_p50"] = hist.quantile(0.50)
+        out["ack_latency_p99"] = hist.quantile(0.99)
+        return out
 
 
 @dataclass
@@ -107,9 +122,11 @@ class SchedStats:
         return copy
 
     def as_dict(self) -> dict:
-        out = dataclasses.asdict(
-            dataclasses.replace(self, tenants={})
-        )
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+            if f.name != "tenants"
+        }
         out["tenants"] = {
             name: t.as_dict() for name, t in sorted(self.tenants.items())
         }

@@ -52,6 +52,7 @@ from __future__ import annotations
 from repro.disk.disk import SimulatedDisk
 from repro.disk.geometry import DiskGeometry
 from repro.disk.stats import DiskStats
+from repro.obs.hist import LatencyHistogram
 from repro.obs.trace import NULL_SPAN
 from repro.sim.clock import VirtualClock
 from repro.volume.mapping import ParityStripeMap, StripeMap, SubRequest
@@ -109,21 +110,16 @@ class VolumeGeometry:
         )
 
 
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending list (0 when empty)."""
-    if not sorted_values:
-        return 0.0
-    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
-    return sorted_values[rank]
-
-
 class VolumeStats:
     """Volume-level rollup: request latencies, queue depth, spindle balance.
 
     Conforms to the :class:`repro.obs.Snapshot` protocol so benchmarks
     register it in a :class:`~repro.obs.MetricsRegistry` next to the
     per-layer stats. ``as_dict()`` folds in a live per-spindle view taken
-    from the member disks' own :class:`~repro.disk.DiskStats`.
+    from the member disks' own :class:`~repro.disk.DiskStats`. Request
+    latencies record into bounded
+    :class:`~repro.obs.hist.LatencyHistogram` sketches (they used to be
+    raw lists — O(requests) memory on long runs).
     """
 
     def __init__(self, volume: "Volume") -> None:
@@ -143,8 +139,8 @@ class VolumeStats:
         self.rebuild_reads = 0
         self.rebuild_writes = 0
         self.rebuilds_completed = 0
-        self.read_latencies: list[float] = []
-        self.write_latencies: list[float] = []
+        self.read_latency_hist = LatencyHistogram()
+        self.write_latency_hist = LatencyHistogram()
         #: Writes dispatched since the last drain, total and per member.
         self.inflight_writes = 0
         self.max_queue_depth = 0
@@ -188,8 +184,8 @@ class VolumeStats:
         volume = self._volume
         per_disk = self._per_disk()
         live = [d for d in per_disk if d["alive"]]
-        read_lat = sorted(self.read_latencies)
-        write_lat = sorted(self.write_latencies)
+        read_lat = self.read_latency_hist
+        write_lat = self.write_latency_hist
         return {
             "layout": volume.layout,
             "n_disks": len(volume.disks),
@@ -205,16 +201,19 @@ class VolumeStats:
             "full_stripe_writes": self.full_stripe_writes,
             "rmw_writes": self.rmw_writes,
             "degraded_writes": self.degraded_writes,
+            "rebuild_active": volume.rebuild_active,
             "rebuild_progress": volume.rebuild_progress,
             "rebuild_rows_done": self.rebuild_rows_done,
             "rebuild_reads": self.rebuild_reads,
             "rebuild_writes": self.rebuild_writes,
             "rebuilds_completed": self.rebuilds_completed,
             "max_queue_depth": self.max_queue_depth,
-            "read_latency_p50": _percentile(read_lat, 0.50),
-            "read_latency_p99": _percentile(read_lat, 0.99),
-            "write_latency_p50": _percentile(write_lat, 0.50),
-            "write_latency_p99": _percentile(write_lat, 0.99),
+            "read_latency_p50": read_lat.quantile(0.50),
+            "read_latency_p99": read_lat.quantile(0.99),
+            "write_latency_p50": write_lat.quantile(0.50),
+            "write_latency_p99": write_lat.quantile(0.99),
+            "read_latency_hist": read_lat.as_dict(),
+            "write_latency_hist": write_lat.as_dict(),
             "total_bytes_read": sum(d["bytes_read"] for d in per_disk),
             "total_bytes_written": sum(d["bytes_written"] for d in per_disk),
             "request_balance": self._balance([d["requests"] for d in live]),
@@ -274,6 +273,7 @@ class Volume:
         self.alive = [True] * len(disks)
         self.layout = layout
         self.tracer = tracer
+        self.events = None
         #: Online-rebuild state: member index being rebuilt (or None), the
         #: next stripe row the scanner will reconstruct, and the rate knob
         #: (stripe rows reconstructed per foreground request; fractional
@@ -281,6 +281,7 @@ class Volume:
         self._rebuilding: int | None = None
         self._rebuild_cursor = 0
         self._rebuild_credit = 0.0
+        self._rebuild_decile = 0
         self.rebuild_rate = 0.0
         if layout == "mirror":
             self.chunk_sectors = 0
@@ -382,6 +383,16 @@ class Volume:
         tr = self.tracer
         if tr:
             tr.instant("volume.member_failed", member=index)
+        ev = self.events
+        if ev:
+            ev.emit(
+                "volume.member_failed",
+                severity="warn",
+                t=self.clock.now,
+                member=index,
+                layout=self.layout,
+                live_members=sum(self.alive),
+            )
 
     def replace_member(self, index: int, disk=None) -> None:
         """Install a blank spindle for a failed member and start rebuilding.
@@ -414,9 +425,18 @@ class Volume:
         self._rebuilding = index
         self._rebuild_cursor = 0
         self._rebuild_credit = 0.0
+        self._rebuild_decile = 0
         tr = self.tracer
         if tr:
             tr.instant("volume.rebuild_started", member=index)
+        ev = self.events
+        if ev:
+            ev.emit(
+                "volume.rebuild_started",
+                t=self.clock.now,
+                member=index,
+                rows=self.parity_map.rows if self.parity_map else 0,
+            )
 
     @property
     def rebuild_active(self) -> bool:
@@ -471,6 +491,7 @@ class Volume:
             vstats.rebuild_rows_done += 1
             self._rebuild_cursor = row + 1
             done += 1
+            ev = self.events
             if self._rebuild_cursor >= pmap.rows:
                 self.alive[target] = True
                 self._rebuilding = None
@@ -479,6 +500,25 @@ class Volume:
                 tr = self.tracer
                 if tr:
                     tr.instant("volume.rebuild_completed", member=target)
+                if ev:
+                    ev.emit(
+                        "volume.rebuild_completed",
+                        t=now,
+                        member=target,
+                        rows=pmap.rows,
+                    )
+            elif ev:
+                # Progress events only on decile crossings: bounded volume
+                # no matter how many stripe rows the scan covers.
+                decile = (10 * self._rebuild_cursor) // pmap.rows
+                if decile > self._rebuild_decile:
+                    self._rebuild_decile = decile
+                    ev.emit(
+                        "volume.rebuild_progress",
+                        t=now,
+                        member=target,
+                        progress=self._rebuild_cursor / pmap.rows,
+                    )
         return done
 
     def rebuild_run_to_completion(self, step_rows: int = 64) -> None:
@@ -658,7 +698,7 @@ class Volume:
             self.clock.advance_to(completion)
             self.stats.record_request(nsectors, write=False)
             self.volume_stats.reads += 1
-            self.volume_stats.read_latencies.append(completion - now)
+            self.volume_stats.read_latency_hist.record(completion - now)
         return data
 
     def read_batch(self, requests: list[tuple[int, int]]) -> list[bytes]:
@@ -684,7 +724,7 @@ class Volume:
                 out.append(data)
                 self.stats.record_request(nsectors, write=False)
                 vstats.reads += 1
-                vstats.read_latencies.append(completion - now)
+                vstats.read_latency_hist.record(completion - now)
                 batch_completion = max(batch_completion, completion)
             self.clock.advance_to(batch_completion)
         return out
@@ -750,7 +790,7 @@ class Volume:
                 vstats.note_write_dispatch(len(subs))
             self.stats.record_request(nsectors, write=True)
             vstats.writes += 1
-            vstats.write_latencies.append(completion - now)
+            vstats.write_latency_hist.record(completion - now)
 
     def _member_write_at(self, index: int, plba: int, payload, now: float) -> float:
         """Queue one member write at ``now`` (no alive check); completion time."""

@@ -45,6 +45,46 @@ def test_dashboard_handles_empty_trace():
     assert "empty trace" in render_dashboard([])
 
 
+def test_cli_handles_empty_trace_file(tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    export_chrome_trace([], path)
+    assert main([str(path)]) == 0
+    assert "empty trace: no spans" in capsys.readouterr().out
+
+
+def test_cli_handles_instant_only_trace(tmp_path, capsys):
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("disk.write"):
+        tracer.instant("disk.barrier")
+        tracer.instant("lld.aru_boundary")
+    path = tmp_path / "instants.json"
+    # The clock never advanced: every span is zero-duration. The dashboard
+    # must not divide by the zero time window or crash ranking the ops.
+    export_chrome_trace(tracer.spans, path)
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 spans" in out
+    assert "disk.barrier" in out
+    assert "window 0.000 ms" in out
+
+
+def test_cli_handles_unknown_layer_spans(tmp_path, capsys):
+    clock = VirtualClock()
+    tracer = Tracer(clock)
+    with tracer.span("mystery_op"):  # no dot: layer falls back to full name
+        clock.advance(0.002)
+        with tracer.span("custom.step"):
+            clock.advance(0.001)
+    path = tmp_path / "unknown.json"
+    export_chrome_trace(tracer.spans, path)
+    assert main([str(path)]) == 0
+    out = capsys.readouterr().out
+    layer_section = out.split("per-op latency")[0]
+    assert "mystery_op" in layer_section
+    assert "custom" in layer_section
+
+
 def test_cli_main_renders_both_formats(tmp_path, capsys):
     spans = make_trace()
     chrome = tmp_path / "trace.json"

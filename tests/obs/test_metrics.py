@@ -103,3 +103,48 @@ def test_disk_stats_bytes_follow_sector_size():
         assert payload["sector_size"] == sector_size
         assert payload["bytes_written"] == 5 * sector_size
         assert stats.snapshot().sector_size == sector_size
+
+
+def test_diff_payloads_subtracts_counters_and_recurses():
+    from repro.obs.metrics import diff_payloads
+
+    before = {"reads": 10, "nested": {"hits": 3}, "label": "raid5", "flag": False}
+    after = {"reads": 25, "nested": {"hits": 8, "misses": 2}, "label": "raid5", "flag": True}
+    window = diff_payloads(before, after)
+    assert window["reads"] == 15
+    assert window["nested"] == {"hits": 5, "misses": 2}
+    assert window["label"] == "raid5"  # non-numerics pass through from after
+    assert window["flag"] is True  # bools are state, not counters
+    assert "gone" not in diff_payloads({"gone": 4}, {})  # before-only keys drop
+
+
+def test_diff_payloads_merge_subtracts_histograms():
+    from repro.obs.hist import LatencyHistogram
+    from repro.obs.metrics import diff_payloads
+
+    hist = LatencyHistogram()
+    hist.record(0.001)
+    before = {"lat": hist.as_dict()}
+    hist.record(0.500)
+    hist.record(0.600)
+    window = diff_payloads(before, {"lat": hist.as_dict()})
+    assert window["lat"]["count"] == 2
+    # The window's quantiles describe only the two slow post-snapshot samples.
+    assert window["lat"]["p50"] > 0.1
+    # A histogram with no prior snapshot passes through whole.
+    fresh = diff_payloads({}, {"lat": hist.as_dict()})
+    assert fresh["lat"]["count"] == 3
+
+
+def test_registry_collect_delta_yields_the_window():
+    registry = MetricsRegistry()
+    disk = DiskStats()
+    registry.register("disk", disk)
+    disk.record_request(8, write=True)
+    before = registry.collect()
+    disk.record_request(4, write=True)
+    disk.record_request(2, write=False)
+    window = registry.collect_delta(before)
+    assert window["disk.writes"] == 1
+    assert window["disk.reads"] == 1
+    assert window["disk.sectors_written"] == 4

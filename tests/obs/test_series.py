@@ -1,0 +1,135 @@
+"""SeriesRecorder: interval gating, flattening, windows, JSONL round-trip."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.series import (
+    Series,
+    SeriesRecorder,
+    _flatten_numeric,
+    export_series_jsonl,
+    load_series_jsonl,
+)
+from repro.sim import VirtualClock
+
+
+def test_tick_samples_only_when_interval_elapsed():
+    clock = VirtualClock()
+    recorder = SeriesRecorder(clock, interval=0.1)
+    recorder.track("gauge", lambda: 42.0)
+    assert recorder.due
+    assert recorder.tick()  # first tick always fires
+    assert not recorder.due
+    assert not recorder.tick()  # clock hasn't moved
+    clock.advance(0.05)
+    assert not recorder.tick()  # interval not reached
+    clock.advance(0.06)
+    assert recorder.due
+    assert recorder.tick()
+    assert recorder.samples_taken == 2
+    assert recorder["gauge"].values() == [42.0, 42.0]
+
+
+def test_constructor_validation():
+    clock = VirtualClock()
+    with pytest.raises(ValueError):
+        SeriesRecorder(clock, interval=0.0)
+    with pytest.raises(ValueError):
+        SeriesRecorder(clock, capacity=1)
+
+
+def test_rings_are_bounded_by_capacity():
+    clock = VirtualClock()
+    recorder = SeriesRecorder(clock, interval=0.01, capacity=4)
+    counter = iter(range(100))
+    recorder.track("n", lambda: next(counter))
+    for _ in range(10):
+        clock.advance(0.02)
+        recorder.tick()
+    assert len(recorder["n"]) == 4
+    assert recorder["n"].values() == [6.0, 7.0, 8.0, 9.0]
+
+
+def test_window_delta_and_rate():
+    series = Series("x", capacity=16)
+    for t, v in [(0.0, 10.0), (1.0, 20.0), (2.0, 60.0)]:
+        series.record(t, v)
+    assert series.latest == 60.0
+    assert series.latest_time == 2.0
+    assert series.window(1.0) == [(1.0, 20.0), (2.0, 60.0)]
+    assert series.delta() == 50.0
+    assert series.delta(1.0) == 40.0
+    assert series.rate() == 25.0  # 50 over 2 virtual seconds
+    assert series.rate(1.0) == 40.0
+    # Degenerate cases: too few points, zero time span.
+    assert Series("y", 4).rate() == 0.0
+    flat = Series("z", 4)
+    flat.record(1.0, 5.0)
+    flat.record(1.0, 9.0)
+    assert flat.rate() == 0.0
+
+
+def test_flatten_numeric_handles_nesting_int_keys_and_buckets():
+    flat = {}
+    _flatten_numeric(
+        "",
+        {
+            "lld": {
+                "flushes": 3,
+                "write_amplification": 1.5,
+                "degraded": True,  # bools are not series
+                "layout": "raid5",  # strings skipped
+                "coalesced_runs": {1: 7, 8: 2},  # int keys coerced
+                "hist": {"count": 4, "p99": 0.5, "buckets": {"16": 4}},
+            }
+        },
+        flat,
+    )
+    assert flat["lld.flushes"] == 3
+    assert flat["lld.write_amplification"] == 1.5
+    assert flat["lld.coalesced_runs.1"] == 7
+    assert flat["lld.hist.p99"] == 0.5
+    assert "lld.degraded" not in flat
+    assert "lld.layout" not in flat
+    # Per-bucket series would be noise; the quantiles ride alongside.
+    assert not any("buckets" in key for key in flat)
+
+
+def test_track_registry_with_key_filter():
+    clock = VirtualClock()
+    registry = MetricsRegistry()
+    registry.register("disk", lambda: {"reads": 5, "writes": 9})
+    recorder = SeriesRecorder(clock, interval=0.01)
+    recorder.track_registry(registry, keys=["disk.reads"])
+    recorder.sample()
+    assert recorder.names == ["disk.reads"]
+    predicate = SeriesRecorder(clock, interval=0.01)
+    predicate.track_registry(registry, keys=lambda name: name.endswith("writes"))
+    predicate.sample()
+    assert predicate.names == ["disk.writes"]
+
+
+def test_record_flat_shares_a_precollected_payload():
+    clock = VirtualClock()
+    recorder = SeriesRecorder(clock, interval=0.01)
+    clock.advance(2.0)
+    recorder.record_flat({"a": 1.0, "b": 2.0})
+    assert recorder.samples_taken == 1
+    assert recorder["a"].latest_time == 2.0
+    assert not recorder.due  # record_flat counts as the interval sample
+
+
+def test_jsonl_round_trip(tmp_path):
+    clock = VirtualClock()
+    recorder = SeriesRecorder(clock, interval=0.01)
+    value = iter([1.0, 4.0, 9.0])
+    recorder.track("sq", lambda: next(value))
+    for _ in range(3):
+        clock.advance(0.02)
+        recorder.tick()
+    path = tmp_path / "series.jsonl"
+    export_series_jsonl(recorder, path)
+    loaded = load_series_jsonl(path)
+    assert list(loaded) == ["sq"]
+    assert loaded["sq"].values() == [1.0, 4.0, 9.0]
+    assert loaded["sq"].latest_time == pytest.approx(0.06)
